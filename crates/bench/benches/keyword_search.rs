@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the keyword-search substrate: index
+//! construction, plain BM25 queries, and expansion-enabled queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dln_search::{ExpansionConfig, KeywordSearch};
+use dln_synth::SocrataConfig;
+
+fn setup() -> (dln_lake::DataLake, dln_embed::SyntheticEmbedding, Vec<String>) {
+    let s = SocrataConfig::small().generate();
+    // Query terms: a few vocabulary words.
+    let queries: Vec<String> = (0..8)
+        .map(|i| s.model.vocab().word(dln_embed::TokenId(i * 37)).to_string())
+        .collect();
+    (s.lake, s.model, queries)
+}
+
+fn index_build(c: &mut Criterion) {
+    let (lake, model, _q) = setup();
+    let mut g = c.benchmark_group("keyword_index/build");
+    g.sample_size(10);
+    g.bench_function("plain", |b| b.iter(|| black_box(KeywordSearch::build(&lake))));
+    g.bench_function("with_expansion", |b| {
+        b.iter(|| {
+            black_box(KeywordSearch::build_with_expansion(
+                &lake,
+                model.clone(),
+                ExpansionConfig::default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn query(c: &mut Criterion) {
+    let (lake, model, queries) = setup();
+    let plain = KeywordSearch::build(&lake);
+    let expanded =
+        KeywordSearch::build_with_expansion(&lake, model, ExpansionConfig::default());
+    let mut g = c.benchmark_group("keyword_query/top10");
+    g.bench_function("bm25", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(plain.search(q, 10));
+            }
+        })
+    });
+    g.bench_function("bm25+expansion", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(expanded.search(q, 10));
+            }
+        })
+    });
+    g.bench_function("bm25+expansion/expansion_disabled", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(expanded.search_with_options(q, 10, false));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, index_build, query);
+criterion_main!(benches);

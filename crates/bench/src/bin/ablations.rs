@@ -1,0 +1,146 @@
+//! **Ablations** — the design choices DESIGN.md calls out, each isolated on
+//! the TagCloud benchmark:
+//!
+//! 1. **γ (Eq 1 decisiveness)** — how the transition temperature moves the
+//!    flat/clustering gap and the optimizer's headroom;
+//! 2. **initialization** — flat vs random vs bisecting (balanced divisive)
+//!    vs agglomerative clustering, before and after local search;
+//! 3. **representative fraction** — evaluation accuracy and search cost vs
+//!    the §3.4 approximation level;
+//! 4. **acceptance sharpening β** — the paper's literal Eq 9 (β = 1)
+//!    against the sharpened default.
+
+use dln_bench::{print_table, write_csv, ExpArgs};
+use dln_org::{
+    bisecting_org, clustering_org, flat_org, random_org, search, Evaluator, NavConfig,
+    OrgContext, Organization, Representatives, SearchConfig,
+};
+use dln_synth::TagCloudConfig;
+
+fn exact_eff(ctx: &OrgContext, org: &Organization, nav: NavConfig) -> f64 {
+    let reps = Representatives::exact(ctx);
+    Evaluator::new(ctx, org, nav, &reps).effectiveness()
+}
+
+fn main() {
+    let args = ExpArgs::parse(0.3);
+    let scale = args.effective_scale();
+    let bench = TagCloudConfig {
+        seed: args.seed,
+        ..TagCloudConfig::paper().scaled(scale)
+    }
+    .generate();
+    let ctx = OrgContext::full(&bench.lake);
+    eprintln!(
+        "TagCloud: {} tags / {} attrs (scale {scale})",
+        ctx.n_tags(),
+        ctx.n_attrs()
+    );
+
+    // --- 1. Gamma sweep. ---
+    println!("\n[1] γ sweep (Eq 1 decisiveness): effectiveness of flat vs clustering");
+    let mut rows = Vec::new();
+    let mut gcols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for gamma in [5.0f32, 10.0, 20.0, 40.0, 80.0, 160.0] {
+        let nav = NavConfig { gamma };
+        let ef = exact_eff(&ctx, &flat_org(&ctx), nav);
+        let ec = exact_eff(&ctx, &clustering_org(&ctx), nav);
+        rows.push(vec![
+            format!("{gamma}"),
+            format!("{ef:.4}"),
+            format!("{ec:.4}"),
+            format!("{:.1}x", ec / ef.max(1e-12)),
+        ]);
+        gcols[0].push(gamma as f64);
+        gcols[1].push(ef);
+        gcols[2].push(ec);
+    }
+    print_table(&["gamma", "flat", "clustering", "ratio"], &rows);
+
+    // --- 2. Initialization ablation. ---
+    println!("\n[2] initialization: effectiveness before → after local search (γ = {})", args.gamma);
+    let nav = NavConfig { gamma: args.gamma };
+    let base_cfg = SearchConfig {
+        nav,
+        rep_fraction: 0.1,
+        seed: args.seed,
+        plateau_iters: 200,
+        max_iters: 2_000,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let inits: Vec<(&str, Organization)> = vec![
+        ("flat", flat_org(&ctx)),
+        ("random", random_org(&ctx, args.seed)),
+        ("bisecting", bisecting_org(&ctx, args.seed)),
+        ("clustering", clustering_org(&ctx)),
+    ];
+    for (name, init) in inits {
+        let before = exact_eff(&ctx, &init, nav);
+        let mut org = init;
+        let stats = search::optimize(&ctx, &mut org, &base_cfg);
+        let after = exact_eff(&ctx, &org, nav);
+        rows.push(vec![
+            name.to_string(),
+            format!("{before:.4}"),
+            format!("{after:.4}"),
+            format!("{}", stats.iterations),
+            format!("{}", stats.accepted),
+        ]);
+    }
+    print_table(&["init", "before", "after", "proposals", "accepted"], &rows);
+
+    // --- 3. Representative fraction. ---
+    println!("\n[3] representative fraction (§3.4): search cost vs result quality");
+    let mut rows = Vec::new();
+    for frac in [1.0f64, 0.25, 0.1, 0.05] {
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            rep_fraction: frac,
+            ..base_cfg.clone()
+        };
+        let t0 = std::time::Instant::now();
+        let stats = search::optimize(&ctx, &mut org, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let eff = exact_eff(&ctx, &org, nav);
+        rows.push(vec![
+            format!("{frac}"),
+            format!("{}", stats.n_queries),
+            format!("{secs:.2}"),
+            format!("{eff:.4}"),
+        ]);
+    }
+    print_table(&["fraction", "queries", "seconds", "final eff (exact)"], &rows);
+
+    // --- 4. Acceptance sharpening. ---
+    println!("\n[4] acceptance β (Eq 9 sharpening): random walk vs directed search, from a random init");
+    let mut rows = Vec::new();
+    for beta in [1.0f64, 50.0, 400.0, f64::INFINITY] {
+        let mut org = random_org(&ctx, args.seed);
+        let cfg = SearchConfig {
+            acceptance_power: if beta.is_finite() { beta } else { 1e12 },
+            ..base_cfg.clone()
+        };
+        let stats = search::optimize(&ctx, &mut org, &cfg);
+        rows.push(vec![
+            if beta.is_finite() {
+                format!("{beta}")
+            } else {
+                "greedy".into()
+            },
+            format!("{:.4}", stats.initial_effectiveness),
+            format!("{:.4}", stats.final_effectiveness),
+            format!("{}", stats.accepted),
+        ]);
+    }
+    print_table(&["beta", "initial", "final", "accepted"], &rows);
+    println!("\n(β = 1 is the paper's literal Eq 9; 'greedy' rejects every degradation)");
+
+    let named: Vec<(&str, &[f64])> = vec![
+        ("gamma", &gcols[0]),
+        ("flat_eff", &gcols[1]),
+        ("clustering_eff", &gcols[2]),
+    ];
+    let path = write_csv(&args.out, "ablations_gamma.csv", &named).expect("csv written");
+    println!("γ sweep written to {}", path.display());
+}

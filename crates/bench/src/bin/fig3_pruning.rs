@@ -1,0 +1,111 @@
+//! **Figure 3** — Pruning (a) domains and (b) states on the TagCloud
+//! benchmark (§4.3.3).
+//!
+//! During local search, only the affected subgraph of an operation is
+//! re-evaluated. The paper reports that "although local changes can
+//! potentially propagate to the whole organization, on average less than
+//! half of states and attributes are visited and evaluated for each search
+//! iteration", and that the 10% representative approximation "reduces the
+//! number of discovery probability evaluations to only 6% of the
+//! attributes".
+//!
+//! This binary instruments an exact and an approximate optimization run
+//! and prints, per iteration: the fraction of states re-evaluated
+//! (Fig 3b), the fraction of attributes whose discovery probability was
+//! re-evaluated (Fig 3a, exact), and the fraction of evaluations actually
+//! performed (approximate mode).
+
+use dln_bench::{print_table, write_csv, ExpArgs};
+use dln_org::{clustering_org, search, NavConfig, OrgContext, SearchConfig};
+use dln_synth::TagCloudConfig;
+
+fn main() {
+    let args = ExpArgs::parse(0.4);
+    let scale = args.effective_scale();
+    let cfg = TagCloudConfig {
+        seed: args.seed,
+        ..TagCloudConfig::paper().scaled(scale)
+    };
+    let bench = cfg.generate();
+    let ctx = OrgContext::full(&bench.lake);
+    eprintln!(
+        "TagCloud: {} tags / {} attrs / {} states in the clustering org",
+        ctx.n_tags(),
+        ctx.n_attrs(),
+        2 * ctx.n_tags() - 1
+    );
+    let nav = NavConfig { gamma: args.gamma };
+
+    let run = |rep_fraction: f64| {
+        let mut org = clustering_org(&ctx);
+        // A long plateau so the sweep reaches every level: operations near
+        // the root have large affected subgraphs, deep ones small — the
+        // Figure 3 average is over the whole organization.
+        let cfg = SearchConfig {
+            nav,
+            rep_fraction,
+            seed: args.seed,
+            plateau_iters: 800,
+            max_iters: 1_600,
+            ..Default::default()
+        };
+        search::optimize(&ctx, &mut org, &cfg)
+    };
+
+    eprintln!("running exact-evaluation search ...");
+    let exact = run(1.0);
+    eprintln!("running 10%-representative search ...");
+    let approx = run(0.1);
+
+    println!("\nFigure 3 — fraction of the organization re-evaluated per search iteration");
+    println!("paper: on average less than half of states and attributes; ~6% of attributes with representatives\n");
+    print_table(
+        &["mode", "states/iter", "attrs/iter", "evals/iter", "iters"],
+        &[
+            vec![
+                "exact".into(),
+                format!("{:.3}", exact.mean_state_fraction()),
+                format!("{:.3}", exact.mean_attr_fraction(ctx.n_attrs())),
+                format!("{:.3}", exact.mean_eval_fraction(ctx.n_attrs())),
+                format!("{}", exact.iterations),
+            ],
+            vec![
+                "approx (10% reps)".into(),
+                format!("{:.3}", approx.mean_state_fraction()),
+                format!("{:.3}", approx.mean_attr_fraction(ctx.n_attrs())),
+                format!("{:.3}", approx.mean_eval_fraction(ctx.n_attrs())),
+                format!("{}", approx.iterations),
+            ],
+        ],
+    );
+
+    // Per-iteration series for plotting.
+    let series = |stats: &dln_org::SearchStats, pick: &dyn Fn(&dln_org::IterStats) -> f64| {
+        stats
+            .iter_stats
+            .iter()
+            .filter(|s| s.op.is_some())
+            .map(pick)
+            .collect::<Vec<f64>>()
+    };
+    let exact_states = series(&exact, &|s| {
+        s.states_visited as f64 / s.states_alive.max(1) as f64
+    });
+    let exact_attrs = series(&exact, &|s| {
+        s.attrs_covered as f64 / ctx.n_attrs().max(1) as f64
+    });
+    let approx_states = series(&approx, &|s| {
+        s.states_visited as f64 / s.states_alive.max(1) as f64
+    });
+    let approx_evals = series(&approx, &|s| {
+        s.queries_evaluated as f64 / ctx.n_attrs().max(1) as f64
+    });
+    let cols: Vec<(&str, &[f64])> = vec![
+        ("exact_state_fraction", exact_states.as_slice()),
+        ("exact_attr_fraction", exact_attrs.as_slice()),
+        ("approx_state_fraction", approx_states.as_slice()),
+        ("approx_eval_fraction", approx_evals.as_slice()),
+    ];
+    let path = write_csv(&args.out, "fig3_pruning.csv", &cols).expect("csv written");
+    println!("\nper-iteration series written to {}", path.display());
+}

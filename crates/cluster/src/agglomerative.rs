@@ -1,0 +1,353 @@
+//! Average-linkage agglomerative hierarchical clustering.
+//!
+//! Implemented with the nearest-neighbour-chain (NN-chain) algorithm, which
+//! is exact for reducible linkages (average linkage is reducible) and runs
+//! in O(n²) time and O(n²) memory for the working distance matrix.
+//!
+//! The output [`Dendrogram`] follows the conventional linkage encoding
+//! (as in SciPy): leaves are nodes `0..n`, the i-th merge creates node
+//! `n + i`, and merges are sorted by non-decreasing linkage distance with
+//! child ids relabelled accordingly.
+
+use crate::distance::PairwiseDistance;
+
+/// One merge step of a dendrogram: `a` and `b` are child node ids (leaf if
+/// `< n_leaves`, else internal node `n_leaves + i`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Merge {
+    /// First child node id.
+    pub a: u32,
+    /// Second child node id.
+    pub b: u32,
+    /// Average-linkage distance at which the merge happened.
+    pub dist: f32,
+    /// Number of leaves under the merged node.
+    pub size: u32,
+}
+
+/// The result of hierarchical clustering: a binary merge tree over
+/// `n_leaves` input points.
+#[derive(Clone, Debug)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cluster `points` with average linkage.
+    ///
+    /// Returns a dendrogram with `n − 1` merges (or zero merges for `n ≤ 1`).
+    pub fn average_linkage<D: PairwiseDistance>(points: &D) -> Dendrogram {
+        let n = points.len();
+        if n <= 1 {
+            return Dendrogram {
+                n_leaves: n,
+                merges: Vec::new(),
+            };
+        }
+        // Working distance matrix (full symmetric, row-major). The merged
+        // cluster reuses the lower slot; `repr` keeps one leaf per active
+        // slot so merges can be relabelled after sorting.
+        let mut d = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = points.dist(i, j);
+                d[i * n + j] = v;
+                d[j * n + i] = v;
+            }
+        }
+        let mut active = vec![true; n];
+        let mut size = vec![1u32; n];
+        let repr: Vec<u32> = (0..n as u32).collect();
+        // Raw merges as (leaf-representative of each side, dist).
+        let mut raw: Vec<(u32, u32, f32)> = Vec::with_capacity(n - 1);
+        let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+        let mut n_active = n;
+        while n_active > 1 {
+            if chain.is_empty() {
+                let start = active.iter().position(|&a| a).expect("active cluster");
+                chain.push(start);
+            }
+            loop {
+                let x = *chain.last().expect("chain non-empty");
+                // Nearest active neighbour of x; prefer the previous chain
+                // element on ties so reciprocal pairs terminate.
+                let prev = if chain.len() >= 2 {
+                    Some(chain[chain.len() - 2])
+                } else {
+                    None
+                };
+                let mut best = usize::MAX;
+                let mut best_d = f32::INFINITY;
+                for y in 0..n {
+                    if y == x || !active[y] {
+                        continue;
+                    }
+                    let dy = d[x * n + y];
+                    if dy < best_d || (dy == best_d && Some(y) == prev) {
+                        best_d = dy;
+                        best = y;
+                    }
+                }
+                debug_assert_ne!(best, usize::MAX);
+                if Some(best) == prev {
+                    // Reciprocal nearest neighbours: merge x and best.
+                    chain.pop();
+                    chain.pop();
+                    let (lo, hi) = if x < best { (x, best) } else { (best, x) };
+                    raw.push((repr[lo], repr[hi], best_d));
+                    // Lance–Williams average-linkage update into slot `lo`.
+                    let (sl, sh) = (size[lo] as f32, size[hi] as f32);
+                    let tot = sl + sh;
+                    for k in 0..n {
+                        if !active[k] || k == lo || k == hi {
+                            continue;
+                        }
+                        let merged = (sl * d[lo * n + k] + sh * d[hi * n + k]) / tot;
+                        d[lo * n + k] = merged;
+                        d[k * n + lo] = merged;
+                    }
+                    size[lo] += size[hi];
+                    active[hi] = false;
+                    n_active -= 1;
+                    break;
+                }
+                chain.push(best);
+            }
+        }
+
+        // Sort by distance and relabel child ids via union–find, producing
+        // the standard linkage encoding.
+        raw.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut uf_parent: Vec<u32> = (0..n as u32).collect();
+        // Current dendrogram node id of each union-find root.
+        let mut node_of_root: Vec<u32> = (0..n as u32).collect();
+        fn find(uf: &mut [u32], mut x: u32) -> u32 {
+            while uf[x as usize] != x {
+                uf[x as usize] = uf[uf[x as usize] as usize];
+                x = uf[x as usize];
+            }
+            x
+        }
+        let mut merges: Vec<Merge> = Vec::with_capacity(raw.len());
+        for (i, (la, lb, dist)) in raw.into_iter().enumerate() {
+            let ra = find(&mut uf_parent, la);
+            let rb = find(&mut uf_parent, lb);
+            debug_assert_ne!(ra, rb, "merge joins two distinct clusters");
+            let (na, nb) = (node_of_root[ra as usize], node_of_root[rb as usize]);
+            let (a, b) = if na < nb { (na, nb) } else { (nb, na) };
+            let new_node = (n + i) as u32;
+            uf_parent[ra as usize] = rb;
+            node_of_root[rb as usize] = new_node;
+            let sz_a = if a < n as u32 {
+                1
+            } else {
+                merges[(a as usize) - n].size
+            };
+            let sz_b = if b < n as u32 {
+                1
+            } else {
+                merges[(b as usize) - n].size
+            };
+            merges.push(Merge {
+                a,
+                b,
+                dist,
+                size: sz_a + sz_b,
+            });
+        }
+        Dendrogram {
+            n_leaves: n,
+            merges,
+        }
+    }
+
+    /// Number of input points.
+    #[inline]
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge steps, sorted by non-decreasing distance.
+    #[inline]
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Total number of nodes (leaves + internal).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_leaves + self.merges.len()
+    }
+
+    /// Children of an internal node (`None` for a leaf).
+    pub fn children(&self, node: u32) -> Option<(u32, u32)> {
+        let i = (node as usize).checked_sub(self.n_leaves)?;
+        self.merges.get(i).map(|m| (m.a, m.b))
+    }
+
+    /// Cut the dendrogram into (at most) `k` flat clusters; returns a dense
+    /// cluster label in `0..k'` for each leaf, where `k' = min(k, n)`.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        let n = self.n_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, n);
+        // Apply the first n-k merges (lowest distances) through union-find.
+        let mut uf: Vec<u32> = (0..n as u32).collect();
+        fn find(uf: &mut [u32], mut x: u32) -> u32 {
+            while uf[x as usize] != x {
+                uf[x as usize] = uf[uf[x as usize] as usize];
+                x = uf[x as usize];
+            }
+            x
+        }
+        // Track a leaf representative of every dendrogram node.
+        let mut leaf_repr: Vec<u32> = (0..self.n_nodes() as u32)
+            .map(|i| if (i as usize) < n { i } else { 0 })
+            .collect();
+        for (i, m) in self.merges.iter().enumerate().take(n - k) {
+            let la = leaf_repr[m.a as usize];
+            let lb = leaf_repr[m.b as usize];
+            let (ra, rb) = (find(&mut uf, la), find(&mut uf, lb));
+            uf[ra as usize] = rb;
+            leaf_repr[n + i] = lb;
+        }
+        // Also record representatives for remaining merges so children() users
+        // are unaffected; then densify root labels.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for leaf in 0..n as u32 {
+            let root = find(&mut uf, leaf);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(root).or_insert(next);
+            labels.push(l);
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{CosinePoints, MatrixDistance};
+
+    fn line_points() -> MatrixDistance {
+        // Four points on a line at coordinates 0, 1, 10, 11.
+        let coords = [0.0f32, 1.0, 10.0, 11.0];
+        let n = coords.len();
+        let mut d = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (coords[i] - coords[j]).abs();
+            }
+        }
+        MatrixDistance::new(n, d)
+    }
+
+    #[test]
+    fn merges_nearby_points_first() {
+        let dend = Dendrogram::average_linkage(&line_points());
+        assert_eq!(dend.n_leaves(), 4);
+        assert_eq!(dend.merges().len(), 3);
+        // First two merges are {0,1} and {2,3} at distance 1.
+        let m0 = dend.merges()[0];
+        let m1 = dend.merges()[1];
+        assert_eq!(m0.dist, 1.0);
+        assert_eq!(m1.dist, 1.0);
+        let firsts: std::collections::BTreeSet<u32> = [m0.a, m0.b, m1.a, m1.b].into();
+        assert_eq!(firsts, [0u32, 1, 2, 3].into());
+        // Final merge joins the two pairs at average distance 10.
+        let m2 = dend.merges()[2];
+        assert_eq!(m2.size, 4);
+        assert!((m2.dist - 10.0).abs() < 1e-5);
+        assert!(m2.a >= 4 && m2.b >= 4);
+    }
+
+    #[test]
+    fn merge_distances_non_decreasing() {
+        let dend = Dendrogram::average_linkage(&line_points());
+        for w in dend.merges().windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn cut_two_clusters_on_line() {
+        let dend = Dendrogram::average_linkage(&line_points());
+        let labels = dend.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let dend = Dendrogram::average_linkage(&line_points());
+        assert_eq!(dend.cut(1), vec![0, 0, 0, 0]);
+        let all = dend.cut(4);
+        let distinct: std::collections::BTreeSet<usize> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+        // k larger than n clamps
+        assert_eq!(dend.cut(100).len(), 4);
+    }
+
+    #[test]
+    fn single_point_and_empty() {
+        let one = MatrixDistance::new(1, vec![0.0]);
+        let d1 = Dendrogram::average_linkage(&one);
+        assert_eq!(d1.n_leaves(), 1);
+        assert!(d1.merges().is_empty());
+        assert_eq!(d1.cut(3), vec![0]);
+
+        let zero = MatrixDistance::new(0, vec![]);
+        let d0 = Dendrogram::average_linkage(&zero);
+        assert_eq!(d0.n_leaves(), 0);
+        assert!(d0.cut(2).is_empty());
+    }
+
+    #[test]
+    fn children_accessor() {
+        let dend = Dendrogram::average_linkage(&line_points());
+        assert_eq!(dend.children(0), None, "leaves have no children");
+        let root = (dend.n_nodes() - 1) as u32;
+        let (a, b) = dend.children(root).unwrap();
+        assert!(a < root && b < root);
+    }
+
+    #[test]
+    fn sizes_are_consistent() {
+        let dend = Dendrogram::average_linkage(&line_points());
+        let last = dend.merges().last().unwrap();
+        assert_eq!(last.size as usize, dend.n_leaves());
+    }
+
+    #[test]
+    fn works_on_cosine_topic_clusters() {
+        // Two tight cosine clusters: x-axis-ish and y-axis-ish.
+        let pts: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.995, 0.0998],
+            vec![0.0, 1.0],
+            vec![0.0998, 0.995],
+            vec![0.995, -0.0998],
+        ];
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        let dend = Dendrogram::average_linkage(&cp);
+        let labels = dend.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[4]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn deterministic_on_same_input() {
+        let a = Dendrogram::average_linkage(&line_points());
+        let b = Dendrogram::average_linkage(&line_points());
+        assert_eq!(a.merges(), b.merges());
+    }
+}

@@ -1,0 +1,136 @@
+//! Pairwise-distance abstraction used by both clustering algorithms.
+
+use dln_embed::dot;
+
+/// A finite set of points with a symmetric, non-negative pairwise distance.
+pub trait PairwiseDistance: Sync {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`. Must be symmetric with
+    /// `dist(i, i) == 0`.
+    fn dist(&self, i: usize, j: usize) -> f32;
+
+    /// True when the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Unit-norm vectors under cosine distance (`1 − a·b`, in `[0, 2]`).
+///
+/// The adapter borrows the vectors (typically the `unit_topic` fields of
+/// lake tags or attributes) so no copies are made.
+pub struct CosinePoints<'a> {
+    points: Vec<&'a [f32]>,
+}
+
+impl<'a> CosinePoints<'a> {
+    /// Wrap a set of unit-norm vectors.
+    pub fn new(points: Vec<&'a [f32]>) -> Self {
+        if let Some(first) = points.first() {
+            let d = first.len();
+            debug_assert!(points.iter().all(|p| p.len() == d));
+        }
+        CosinePoints { points }
+    }
+
+    /// The wrapped vector for point `i`.
+    pub fn point(&self, i: usize) -> &'a [f32] {
+        self.points[i]
+    }
+}
+
+impl PairwiseDistance for CosinePoints<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f32 {
+        if i == j {
+            return 0.0;
+        }
+        (1.0 - dot(self.points[i], self.points[j])).max(0.0)
+    }
+}
+
+/// An explicit (dense, symmetric) distance matrix — convenient in tests and
+/// for small precomputed inputs.
+pub struct MatrixDistance {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixDistance {
+    /// Build from a row-major `n × n` matrix.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n` or the matrix is asymmetric beyond
+    /// 1e-5 (debug builds only for the symmetry check).
+    pub fn new(n: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix must be n × n");
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in 0..n {
+                debug_assert!(
+                    (data[i * n + j] - data[j * n + i]).abs() < 1e-5,
+                    "distance matrix must be symmetric"
+                );
+            }
+        }
+        MatrixDistance { n, data }
+    }
+}
+
+impl PairwiseDistance for MatrixDistance {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_points_distance() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let c = [1.0f32, 0.0];
+        let pts = CosinePoints::new(vec![&a, &b, &c]);
+        assert_eq!(pts.len(), 3);
+        assert!((pts.dist(0, 1) - 1.0).abs() < 1e-6);
+        assert!(pts.dist(0, 2).abs() < 1e-6);
+        assert_eq!(pts.dist(1, 1), 0.0);
+        // symmetry
+        assert_eq!(pts.dist(0, 1), pts.dist(1, 0));
+    }
+
+    #[test]
+    fn cosine_distance_clamped_non_negative() {
+        // numerically, dot of identical unit vectors can exceed 1 slightly
+        let a = [0.6f32, 0.8];
+        let pts = CosinePoints::new(vec![&a, &a]);
+        assert!(pts.dist(0, 1) >= 0.0);
+    }
+
+    #[test]
+    fn matrix_distance_roundtrip() {
+        let m = MatrixDistance::new(2, vec![0.0, 3.0, 3.0, 0.0]);
+        assert_eq!(m.dist(0, 1), 3.0);
+        assert_eq!(m.dist(1, 0), 3.0);
+        assert_eq!(m.dist(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be n × n")]
+    fn matrix_wrong_size_panics() {
+        MatrixDistance::new(3, vec![0.0; 4]);
+    }
+}

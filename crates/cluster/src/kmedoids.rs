@@ -1,0 +1,289 @@
+//! k-medoids clustering (Voronoi iteration / "alternating" algorithm).
+//!
+//! Used in two places by the organization system, matching the paper:
+//!
+//! * partitioning the tags of a lake into the `k` dimensions of a
+//!   multi-dimensional organization (§2.5: "we clustered the tags into N
+//!   clusters (using n-medoids)"; §4.3.4: "partitioning its tags into ten
+//!   groups using k-medoids clustering [23]");
+//! * selecting the attribute *representatives* for approximate evaluation
+//!   (§3.4: a one-to-one mapping between representatives and a partitioning
+//!   of attributes — the medoid of each partition is its representative).
+//!
+//! Seeding is k-means++-style (first medoid uniform, subsequent medoids
+//! with probability proportional to squared distance to the nearest chosen
+//! medoid), followed by alternating assignment / medoid-update steps until
+//! the assignment stabilizes or `max_iter` is hit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::distance::PairwiseDistance;
+
+/// Result of a k-medoids run.
+#[derive(Clone, Debug)]
+pub struct KMedoids {
+    /// Cluster index in `0..k` for every point.
+    pub assignments: Vec<usize>,
+    /// Point index of each cluster's medoid.
+    pub medoids: Vec<usize>,
+    /// Total cost: sum over points of distance to their medoid.
+    pub cost: f64,
+    /// Number of alternating iterations executed.
+    pub iterations: usize,
+}
+
+impl KMedoids {
+    /// Cluster `points` into `k` groups. Deterministic in `seed`.
+    ///
+    /// `k` is clamped to `1..=n`; for `n == 0` an empty result is returned.
+    pub fn fit<D: PairwiseDistance>(points: &D, k: usize, seed: u64) -> KMedoids {
+        Self::fit_with(points, k, seed, 100)
+    }
+
+    /// As [`fit`](Self::fit) with an explicit iteration cap.
+    pub fn fit_with<D: PairwiseDistance>(
+        points: &D,
+        k: usize,
+        seed: u64,
+        max_iter: usize,
+    ) -> KMedoids {
+        let n = points.len();
+        if n == 0 {
+            return KMedoids {
+                assignments: Vec::new(),
+                medoids: Vec::new(),
+                cost: 0.0,
+                iterations: 0,
+            };
+        }
+        let k = k.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut medoids = seed_plus_plus(points, k, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0usize;
+        let mut cost = assign(points, &medoids, &mut assignments);
+        while iterations < max_iter {
+            iterations += 1;
+            // Medoid update: within each cluster, the point minimizing the
+            // sum of distances to the cluster members.
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (p, &c) in assignments.iter().enumerate() {
+                members[c].push(p);
+            }
+            let mut changed = false;
+            for (c, group) in members.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let mut best = medoids[c];
+                let mut best_cost = f64::INFINITY;
+                for &cand in group {
+                    let mut s = 0.0f64;
+                    for &m in group {
+                        s += points.dist(cand, m) as f64;
+                        if s >= best_cost {
+                            break;
+                        }
+                    }
+                    if s < best_cost {
+                        best_cost = s;
+                        best = cand;
+                    }
+                }
+                if best != medoids[c] {
+                    medoids[c] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let new_cost = assign(points, &medoids, &mut assignments);
+            if new_cost >= cost {
+                cost = new_cost;
+                break;
+            }
+            cost = new_cost;
+        }
+        KMedoids {
+            assignments,
+            medoids,
+            cost,
+            iterations,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// Members of each cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k()];
+        for (p, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(p);
+        }
+        groups
+    }
+}
+
+/// k-means++-style seeding over an arbitrary metric.
+fn seed_plus_plus<D: PairwiseDistance>(points: &D, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = points.len();
+    let mut medoids = Vec::with_capacity(k);
+    medoids.push(rng.random_range(0..n));
+    let mut nearest: Vec<f32> = (0..n).map(|p| points.dist(p, medoids[0])).collect();
+    while medoids.len() < k {
+        let total: f64 = nearest.iter().map(|d| (*d as f64) * (*d as f64)).sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with a medoid; pick any non-medoid.
+            (0..n).find(|p| !medoids.contains(p)).unwrap_or(0)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (p, d) in nearest.iter().enumerate() {
+                let w = (*d as f64) * (*d as f64);
+                if target < w {
+                    chosen = p;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        medoids.push(next);
+        for (p, slot) in nearest.iter_mut().enumerate() {
+            let d = points.dist(p, next);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    medoids
+}
+
+/// Assign every point to its nearest medoid; returns the total cost.
+fn assign<D: PairwiseDistance>(points: &D, medoids: &[usize], out: &mut [usize]) -> f64 {
+    let mut cost = 0.0f64;
+    for (p, slot) in out.iter_mut().enumerate().take(points.len()) {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (c, &m) in medoids.iter().enumerate() {
+            let d = points.dist(p, m);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *slot = best;
+        cost += best_d as f64;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{CosinePoints, MatrixDistance};
+
+    fn two_blobs() -> MatrixDistance {
+        // points 0..3 near origin, 3..6 near 100
+        let coords = [0.0f32, 1.0, 2.0, 100.0, 101.0, 102.0];
+        let n = coords.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (coords[i] - coords[j]).abs();
+            }
+        }
+        MatrixDistance::new(n, d)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = KMedoids::fit(&two_blobs(), 2, 42);
+        assert_eq!(km.k(), 2);
+        assert_eq!(km.assignments[0], km.assignments[1]);
+        assert_eq!(km.assignments[1], km.assignments[2]);
+        assert_eq!(km.assignments[3], km.assignments[4]);
+        assert_eq!(km.assignments[4], km.assignments[5]);
+        assert_ne!(km.assignments[0], km.assignments[3]);
+        // Medoids are the blob centres (points 1 and 4).
+        let mut ms = km.medoids.clone();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![1, 4]);
+        assert!((km.cost - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_cluster() {
+        let km = KMedoids::fit(&two_blobs(), 2, 7);
+        for (c, &m) in km.medoids.iter().enumerate() {
+            assert_eq!(km.assignments[m], c);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = KMedoids::fit(&two_blobs(), 2, 5);
+        let b = KMedoids::fit(&two_blobs(), 2, 5);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn k_one_selects_global_medoid() {
+        let km = KMedoids::fit(&two_blobs(), 1, 3);
+        assert_eq!(km.k(), 1);
+        assert!(km.assignments.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let km = KMedoids::fit(&two_blobs(), 100, 3);
+        assert_eq!(km.k(), 6);
+        assert!(km.cost.abs() < 1e-9, "every point is its own medoid");
+    }
+
+    #[test]
+    fn empty_input() {
+        let zero = MatrixDistance::new(0, vec![]);
+        let km = KMedoids::fit(&zero, 3, 1);
+        assert!(km.assignments.is_empty());
+        assert!(km.medoids.is_empty());
+    }
+
+    #[test]
+    fn clusters_accessor_partitions_points() {
+        let km = KMedoids::fit(&two_blobs(), 2, 11);
+        let cs = km.clusters();
+        let total: usize = cs.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn cosine_blobs() {
+        let pts: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.995, 0.0998],
+            vec![0.0, 1.0],
+            vec![0.0998, 0.995],
+        ];
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        let km = KMedoids::fit(&cp, 2, 19);
+        assert_eq!(km.assignments[0], km.assignments[1]);
+        assert_eq!(km.assignments[2], km.assignments[3]);
+        assert_ne!(km.assignments[0], km.assignments[2]);
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let d = MatrixDistance::new(4, vec![0.0; 16]);
+        let km = KMedoids::fit(&d, 2, 1);
+        assert_eq!(km.k(), 2);
+        assert!(km.cost.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Value tokenization.
+//!
+//! Data-lake cell values are free text ("Canadian Food Inspection Agency",
+//! "salmon, atlantic — farmed"). The paper embeds values word-by-word and
+//! averages; this module performs the corresponding splitting and
+//! normalization: lowercase, split on non-alphanumeric boundaries, drop
+//! pure-numeric tokens (the paper builds organizations over *text*
+//! attributes only, §3.1).
+
+/// Tokenize a raw cell value into lowercase word tokens.
+///
+/// Rules (matching common IR practice and the paper's text-attribute focus):
+/// * split on any non-alphanumeric character,
+/// * lowercase ASCII,
+/// * drop tokens that are entirely numeric,
+/// * drop empty tokens.
+pub fn tokenize(value: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in value.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, tok: String) {
+    if !tok.chars().all(|c| c.is_ascii_digit()) {
+        out.push(tok);
+    }
+}
+
+/// Whether a raw value looks numeric (used for text-attribute detection in
+/// CSV ingestion: a column whose values are mostly numeric is excluded from
+/// organization construction per §3.1).
+pub fn is_numeric_value(value: &str) -> bool {
+    let v = value.trim();
+    if v.is_empty() {
+        return false;
+    }
+    v.parse::<f64>().is_ok()
+        || v.trim_start_matches(['$', '€', '£'])
+            .replace([',', '%'], "")
+            .parse::<f64>()
+            .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Canadian Food-Inspection AGENCY"),
+            vec!["canadian", "food", "inspection", "agency"]
+        );
+    }
+
+    #[test]
+    fn drops_numeric_tokens() {
+        assert_eq!(tokenize("route 66 highway"), vec!["route", "highway"]);
+    }
+
+    #[test]
+    fn keeps_alphanumeric_mixed_tokens() {
+        assert_eq!(tokenize("h1n1 virus"), vec!["h1n1", "virus"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_values() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! 123").is_empty());
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(is_numeric_value("42"));
+        assert!(is_numeric_value("-3.75"));
+        assert!(is_numeric_value("$1,234.50"));
+        assert!(is_numeric_value("12%"));
+        assert!(!is_numeric_value("salmon"));
+        assert!(!is_numeric_value(""));
+        assert!(!is_numeric_value("h1n1"));
+    }
+}

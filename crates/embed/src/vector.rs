@@ -1,0 +1,331 @@
+//! Dense-vector kernels and topic-vector accumulators.
+//!
+//! Topic vectors (Definition 4 of the paper) are sample means over
+//! populations of value vectors. States in an organization are merged and
+//! split constantly during local search, so the mean is kept in *accumulator*
+//! form — a running sum and a count — which makes merging two states O(dim)
+//! instead of O(population).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    // The explicit chunked loop auto-vectorizes reliably; see the perf-book
+    // guidance on keeping hot kernels allocation-free and branch-free.
+    let mut acc = 0.0f32;
+    let n = a.len();
+    let chunks = n / 4 * 4;
+    let mut i = 0;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    while i < chunks {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    while i < n {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc + s0 + s1 + s2 + s3
+}
+
+/// Euclidean (L2) norm of a vector.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity between two vectors.
+///
+/// Returns 0.0 when either vector is (numerically) the zero vector, which is
+/// the convention used throughout: a state with no embedded values is
+/// maximally dissimilar from every query topic.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Normalize a vector in place to unit L2 norm. Zero vectors are left as-is.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = l2_norm(a);
+    if n > f32::EPSILON {
+        let inv = 1.0 / n;
+        for x in a.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Return a unit-normalized copy of `a`.
+#[inline]
+pub fn normalized(a: &[f32]) -> Vec<f32> {
+    let mut v = a.to_vec();
+    normalize(&mut v);
+    v
+}
+
+/// Sample mean of a set of vectors. Returns a zero vector of dimension `dim`
+/// when the iterator is empty.
+pub fn mean<'a, I>(vectors: I, dim: usize) -> Vec<f32>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut acc = TopicAccumulator::new(dim);
+    for v in vectors {
+        acc.add(v);
+    }
+    acc.mean()
+}
+
+/// A running (sum, count) accumulator representing the sample mean of a
+/// population of embedding vectors — the *topic vector* of an attribute or
+/// organization state.
+///
+/// Supports merging (state union during `ADD_PARENT`) and unmerging (state
+/// shrink during rollback) in O(dim). Means are recomputed on demand; the
+/// normalized form used by the cosine kernel is produced by
+/// [`TopicAccumulator::unit_mean`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopicAccumulator {
+    sum: Vec<f32>,
+    count: u64,
+}
+
+impl TopicAccumulator {
+    /// An empty accumulator of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        TopicAccumulator {
+            sum: vec![0.0; dim],
+            count: 0,
+        }
+    }
+
+    /// Build directly from a precomputed sum and population count.
+    pub fn from_sum(sum: Vec<f32>, count: u64) -> Self {
+        TopicAccumulator { sum, count }
+    }
+
+    /// Dimensionality of the accumulated vectors.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Number of vectors accumulated so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no vectors have been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw component-wise sum.
+    #[inline]
+    pub fn sum(&self) -> &[f32] {
+        &self.sum
+    }
+
+    /// Add a single vector to the population.
+    #[inline]
+    pub fn add(&mut self, v: &[f32]) {
+        debug_assert_eq!(v.len(), self.sum.len(), "accumulator dim mismatch");
+        for (s, x) in self.sum.iter_mut().zip(v) {
+            *s += *x;
+        }
+        self.count += 1;
+    }
+
+    /// Merge another accumulator's population into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &TopicAccumulator) {
+        debug_assert_eq!(other.sum.len(), self.sum.len(), "accumulator dim mismatch");
+        for (s, x) in self.sum.iter_mut().zip(&other.sum) {
+            *s += *x;
+        }
+        self.count += other.count;
+    }
+
+    /// Remove another accumulator's population from this one (inverse of
+    /// [`merge`](Self::merge)). The caller must guarantee `other` was
+    /// previously merged; counts saturate at zero defensively.
+    #[inline]
+    pub fn unmerge(&mut self, other: &TopicAccumulator) {
+        debug_assert_eq!(other.sum.len(), self.sum.len(), "accumulator dim mismatch");
+        for (s, x) in self.sum.iter_mut().zip(&other.sum) {
+            *s -= *x;
+        }
+        self.count = self.count.saturating_sub(other.count);
+    }
+
+    /// Sample mean of the population (zero vector if empty).
+    pub fn mean(&self) -> Vec<f32> {
+        if self.count == 0 {
+            return vec![0.0; self.sum.len()];
+        }
+        let inv = 1.0 / self.count as f32;
+        self.sum.iter().map(|s| s * inv).collect()
+    }
+
+    /// Unit-normalized sample mean (zero vector if empty), suitable for
+    /// cosine-as-dot-product evaluation.
+    pub fn unit_mean(&self) -> Vec<f32> {
+        // The mean and the sum point in the same direction, so normalizing
+        // the sum avoids the division by count.
+        normalized(&self.sum)
+    }
+
+    /// Write the unit-normalized mean into `out` without allocating.
+    pub fn write_unit_mean(&self, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.sum.len());
+        out.copy_from_slice(&self.sum);
+        normalize(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| (13 - i) as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_self_is_one() {
+        let a = [0.3f32, -1.2, 0.7, 2.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!(cosine(&a, &b).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let a = [1.0f32, 2.0];
+        let b = [-1.0f32, -2.0];
+        assert!((cosine(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let a = [0.0f32, 0.0];
+        let b = [1.0f32, 1.0];
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(cosine(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut a = vec![3.0f32, 4.0];
+        normalize(&mut a);
+        assert!((l2_norm(&a) - 1.0).abs() < 1e-6);
+        assert!((a[0] - 0.6).abs() < 1e-6);
+        assert!((a[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut a = vec![0.0f32; 4];
+        normalize(&mut a);
+        assert_eq!(a, vec![0.0f32; 4]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let vs: Vec<Vec<f32>> = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 2.0]];
+        let m = mean(vs.iter().map(|v| v.as_slice()), 2);
+        assert!((m[0] - 1.0).abs() < 1e-6);
+        assert!((m[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        let m = mean(std::iter::empty(), 3);
+        assert_eq!(m, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn accumulator_add_and_mean() {
+        let mut acc = TopicAccumulator::new(2);
+        assert!(acc.is_empty());
+        acc.add(&[2.0, 0.0]);
+        acc.add(&[0.0, 2.0]);
+        assert_eq!(acc.count(), 2);
+        let m = acc.mean();
+        assert!((m[0] - 1.0).abs() < 1e-6 && (m[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_merge_unmerge_roundtrip() {
+        let mut a = TopicAccumulator::new(3);
+        a.add(&[1.0, 2.0, 3.0]);
+        let before = a.clone();
+        let mut b = TopicAccumulator::new(3);
+        b.add(&[4.0, 5.0, 6.0]);
+        b.add(&[-1.0, 0.0, 1.0]);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        a.unmerge(&b);
+        assert_eq!(a.count(), before.count());
+        for (x, y) in a.sum().iter().zip(before.sum()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unit_mean_matches_normalized_mean() {
+        let mut acc = TopicAccumulator::new(2);
+        acc.add(&[3.0, 0.0]);
+        acc.add(&[0.0, 3.0]);
+        let um = acc.unit_mean();
+        let nm = normalized(&acc.mean());
+        for (a, b) in um.iter().zip(&nm) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!((l2_norm(&um) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_mean_of_empty_is_zero() {
+        let acc = TopicAccumulator::new(4);
+        assert_eq!(acc.unit_mean(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn write_unit_mean_no_alloc_path() {
+        let mut acc = TopicAccumulator::new(2);
+        acc.add(&[0.0, 5.0]);
+        let mut out = [9.0f32; 2];
+        acc.write_unit_mean(&mut out);
+        assert!((out[0]).abs() < 1e-6);
+        assert!((out[1] - 1.0).abs() < 1e-6);
+    }
+}

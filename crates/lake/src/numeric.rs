@@ -1,0 +1,294 @@
+//! Numerical-attribute profiles — the paper's first future-work item.
+//!
+//! §3.1: "We have found that similarity between numerical attributes
+//! (measured by set overlap or Jaccard) can be very misleading as
+//! attributes that are semantically unrelated can be very similar ...
+//! Hence, to use numerical attributes one would first need to understand
+//! their semantics" (pointing at Sherlock-style semantic typing). The
+//! conclusion lists "extending the organization to include numerical ...
+//! columns" as future work.
+//!
+//! This module supplies the substrate that extension needs: a
+//! *distributional profile* of a numeric column (not its raw value set)
+//! and a similarity between profiles based on distribution shape — scale,
+//! spread, integrality, quantile geometry — rather than value overlap.
+//! CSV ingestion can retain these profiles alongside the text lake
+//! ([`crate::csv::load_dir_with_numeric`]), so a downstream organization
+//! over numeric semantics has everything it needs.
+
+/// A distributional summary of a numeric column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NumericProfile {
+    /// Number of parsed numeric values.
+    pub n_values: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Fraction of values that are integral.
+    pub fraction_int: f64,
+    /// Fraction of values that are non-negative.
+    pub fraction_nonneg: f64,
+    /// Quantiles at 10/25/50/75/90 %.
+    pub quantiles: [f64; 5],
+}
+
+impl NumericProfile {
+    /// Profile a set of numeric values. Returns `None` for empty input.
+    pub fn from_values(values: &[f64]) -> Option<NumericProfile> {
+        let vals: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let n = vals.len();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let q = |p: f64| sorted[((n - 1) as f64 * p).round() as usize];
+        Some(NumericProfile {
+            n_values: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            std: var.sqrt(),
+            fraction_int: vals.iter().filter(|v| v.fract() == 0.0).count() as f64 / n as f64,
+            fraction_nonneg: vals.iter().filter(|v| **v >= 0.0).count() as f64 / n as f64,
+            quantiles: [q(0.10), q(0.25), q(0.50), q(0.75), q(0.90)],
+        })
+    }
+
+    /// Profile raw string values, parsing the numeric ones (currency signs
+    /// and thousands separators tolerated). Returns `None` when fewer than
+    /// `min_numeric` values parse.
+    pub fn from_strings<'a, I: IntoIterator<Item = &'a str>>(
+        values: I,
+        min_numeric: usize,
+    ) -> Option<NumericProfile> {
+        let parsed: Vec<f64> = values
+            .into_iter()
+            .filter_map(parse_numeric)
+            .collect();
+        if parsed.len() < min_numeric.max(1) {
+            return None;
+        }
+        Self::from_values(&parsed)
+    }
+
+    /// A scale-aware shape feature vector for similarity comparison. All
+    /// components are dimensionless or log-compressed, so "population of a
+    /// city" and "population of a country" look related while "year" and
+    /// "latitude" do not — the semantic-typing intuition of the Sherlock
+    /// line of work, in miniature.
+    pub fn features(&self) -> [f64; 8] {
+        let range = (self.max - self.min).max(f64::MIN_POSITIVE);
+        let scale = self.max.abs().max(self.min.abs()).max(f64::MIN_POSITIVE);
+        let mid = self.quantiles[2];
+        let iqr = (self.quantiles[3] - self.quantiles[1]).max(f64::MIN_POSITIVE);
+        [
+            // Order of magnitude (log10-compressed scale).
+            (1.0 + scale).log10(),
+            // Coefficient of variation, clamped.
+            (self.std / scale).min(10.0),
+            // Skew proxy: where the median sits within the range.
+            ((mid - self.min) / range).clamp(0.0, 1.0),
+            // Tail heaviness: range relative to IQR (log-compressed).
+            (1.0 + range / iqr).log10(),
+            self.fraction_int,
+            self.fraction_nonneg,
+            // Negative support indicator.
+            if self.min < 0.0 { 1.0 } else { 0.0 },
+            // Bounded-looking column ([0,1] / [0,100]-ish)?
+            if self.min >= 0.0 && (self.max <= 1.0 || (self.max <= 100.0 && self.fraction_int > 0.5))
+            {
+                1.0
+            } else {
+                0.0
+            },
+        ]
+    }
+
+    /// Shape similarity in `[0, 1]`: 1 − normalized L1 distance between
+    /// feature vectors (features are individually normalized to
+    /// comparable ranges first).
+    pub fn similarity(&self, other: &NumericProfile) -> f64 {
+        let a = self.features();
+        let b = other.features();
+        // Per-feature normalizers (rough dynamic ranges).
+        const NORM: [f64; 8] = [10.0, 10.0, 1.0, 3.0, 1.0, 1.0, 1.0, 1.0];
+        let mut d = 0.0;
+        for i in 0..8 {
+            d += ((a[i] - b[i]) / NORM[i]).abs().min(1.0);
+        }
+        1.0 - d / 8.0
+    }
+}
+
+/// A catalog of profiled numeric columns from an ingested lake directory
+/// (see [`crate::csv::load_dir_with_numeric`]).
+#[derive(Clone, Debug, Default)]
+pub struct NumericCatalog {
+    /// All profiled numeric columns.
+    pub columns: Vec<NumericColumn>,
+}
+
+/// One profiled numeric column.
+#[derive(Clone, Debug)]
+pub struct NumericColumn {
+    /// Name of the source table.
+    pub table_name: String,
+    /// Column name.
+    pub column: String,
+    /// Its distributional profile.
+    pub profile: NumericProfile,
+}
+
+impl NumericCatalog {
+    /// Number of profiled columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when no numeric columns were profiled.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The `k` columns most similar (by profile shape) to column `idx`,
+    /// excluding itself, as `(index, similarity)` sorted descending.
+    pub fn similar_columns(&self, idx: usize, k: usize) -> Vec<(usize, f64)> {
+        let base = &self.columns[idx].profile;
+        let mut scored: Vec<(usize, f64)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(i, c)| (i, base.similarity(&c.profile)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Parse a numeric cell value, tolerating `$ € £`, thousands separators
+/// and percent signs.
+pub fn parse_numeric(v: &str) -> Option<f64> {
+    let v = v.trim();
+    if v.is_empty() {
+        return None;
+    }
+    if let Ok(x) = v.parse::<f64>() {
+        return x.is_finite().then_some(x);
+    }
+    let cleaned: String = v
+        .trim_start_matches(['$', '€', '£'])
+        .chars()
+        .filter(|c| *c != ',' && *c != '%')
+        .collect();
+    cleaned.parse::<f64>().ok().filter(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_basic_statistics() {
+        let p = NumericProfile::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(p.n_values, 5);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 5.0);
+        assert!((p.mean - 3.0).abs() < 1e-12);
+        assert!((p.std - 2.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(p.fraction_int, 1.0);
+        assert_eq!(p.fraction_nonneg, 1.0);
+        assert_eq!(p.quantiles[2], 3.0);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_inputs() {
+        assert!(NumericProfile::from_values(&[]).is_none());
+        assert!(NumericProfile::from_values(&[f64::NAN, f64::INFINITY]).is_none());
+        let p = NumericProfile::from_values(&[1.0, f64::NAN, 2.0]).unwrap();
+        assert_eq!(p.n_values, 2);
+    }
+
+    #[test]
+    fn parses_messy_strings() {
+        assert_eq!(parse_numeric("42"), Some(42.0));
+        assert_eq!(parse_numeric("$1,234.50"), Some(1234.5));
+        assert_eq!(parse_numeric("87%"), Some(87.0));
+        assert_eq!(parse_numeric("-3.5"), Some(-3.5));
+        assert_eq!(parse_numeric("salmon"), None);
+        assert_eq!(parse_numeric(""), None);
+    }
+
+    #[test]
+    fn from_strings_threshold() {
+        let vals = ["1", "2", "fish"];
+        assert!(NumericProfile::from_strings(vals.iter().copied(), 3).is_none());
+        assert!(NumericProfile::from_strings(vals.iter().copied(), 2).is_some());
+    }
+
+    #[test]
+    fn similar_distributions_score_high() {
+        // Two "population count" columns at different city sizes.
+        let a = NumericProfile::from_values(
+            &(0..100).map(|i| 10_000.0 + (i as f64) * 950.0).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let b = NumericProfile::from_values(
+            &(0..80).map(|i| 20_000.0 + (i as f64) * 1_200.0).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // A "percentage" column.
+        let c = NumericProfile::from_values(
+            &(0..50).map(|i| (i as f64) * 97.0 / 49.0).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // A "signed ratio" column.
+        let d = NumericProfile::from_values(
+            &(0..60).map(|i| -1.0 + (i as f64) * 0.033).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(
+            a.similarity(&b) > a.similarity(&c),
+            "populations match each other better than percentages: {} vs {}",
+            a.similarity(&b),
+            a.similarity(&c)
+        );
+        assert!(a.similarity(&b) > a.similarity(&d));
+        // Similarity is symmetric and self-similarity is maximal.
+        assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+        assert!((a.similarity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_blindspot_is_fixed() {
+        // The paper's complaint: set overlap calls unrelated numeric
+        // columns similar. Two columns with HIGH value overlap but
+        // different distribution shapes (uniform ints vs the same ints
+        // heavily skewed + fractional tail) should *not* be near-identical
+        // under profile similarity, while two disjoint-but-same-shaped
+        // columns should.
+        let uniform: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let skewed: Vec<f64> = (0..100)
+            .map(|i| if i < 90 { (i / 30) as f64 } else { 50.5 + i as f64 })
+            .collect();
+        let shifted_uniform: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64).collect();
+        let pu = NumericProfile::from_values(&uniform).unwrap();
+        let ps = NumericProfile::from_values(&skewed).unwrap();
+        let pshift = NumericProfile::from_values(&shifted_uniform).unwrap();
+        assert!(
+            pu.similarity(&pshift) > pu.similarity(&ps),
+            "same shape, disjoint values ({}) must beat overlapping values, different shape ({})",
+            pu.similarity(&pshift),
+            pu.similarity(&ps)
+        );
+    }
+}

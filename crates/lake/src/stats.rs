@@ -1,0 +1,197 @@
+//! Descriptive statistics over a lake.
+//!
+//! The paper characterizes its Socrata crawl by exactly these quantities
+//! (§4.1): table / attribute / tag counts, attribute–tag associations, and
+//! the skew of tags-per-table and attributes-per-table. The synthetic
+//! Socrata generator is validated against these statistics, and the Table 1
+//! experiment prints per-dimension versions of them.
+
+use crate::model::DataLake;
+
+/// Summary statistics of a [`DataLake`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LakeStats {
+    /// Number of tables.
+    pub n_tables: usize,
+    /// Number of attributes.
+    pub n_attrs: usize,
+    /// Number of distinct tags.
+    pub n_tags: usize,
+    /// Total attribute–tag associations.
+    pub n_attr_tag_assocs: usize,
+    /// Attributes with a non-empty topic vector.
+    pub n_attrs_with_topic: usize,
+    /// Tables with at least one attribute that has a topic vector.
+    pub n_tables_with_topic: usize,
+    /// Mean / median / max tags per table.
+    pub tags_per_table: Distribution,
+    /// Mean / median / max attributes per table.
+    pub attrs_per_table: Distribution,
+    /// Mean / median / max attributes per tag.
+    pub attrs_per_tag: Distribution,
+    /// Mean fraction of values with embeddings, over attributes with values.
+    pub mean_embedding_coverage: f64,
+}
+
+/// Simple summary of a non-negative integer distribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Distribution {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Distribution {
+    /// Summarize a sample of counts. Empty input yields all zeros.
+    pub fn of(mut counts: Vec<u64>) -> Distribution {
+        if counts.is_empty() {
+            return Distribution::default();
+        }
+        counts.sort_unstable();
+        let n = counts.len();
+        Distribution {
+            mean: counts.iter().sum::<u64>() as f64 / n as f64,
+            median: counts[(n - 1) / 2],
+            max: counts[n - 1],
+        }
+    }
+}
+
+impl LakeStats {
+    /// Compute statistics over `lake`.
+    pub fn compute(lake: &DataLake) -> LakeStats {
+        let tags_per_table =
+            Distribution::of(lake.tables().iter().map(|t| t.tags.len() as u64).collect());
+        let attrs_per_table =
+            Distribution::of(lake.tables().iter().map(|t| t.attrs.len() as u64).collect());
+        let attrs_per_tag =
+            Distribution::of(lake.tags().iter().map(|t| t.attrs.len() as u64).collect());
+        let n_attrs_with_topic = lake.attrs().iter().filter(|a| a.has_topic()).count();
+        let n_tables_with_topic = lake
+            .tables()
+            .iter()
+            .filter(|t| t.attrs.iter().any(|&a| lake.attr(a).has_topic()))
+            .count();
+        let covered: Vec<f64> = lake
+            .attrs()
+            .iter()
+            .filter(|a| a.n_values > 0)
+            .map(|a| a.embedding_coverage())
+            .collect();
+        let mean_embedding_coverage = if covered.is_empty() {
+            0.0
+        } else {
+            covered.iter().sum::<f64>() / covered.len() as f64
+        };
+        LakeStats {
+            n_tables: lake.n_tables(),
+            n_attrs: lake.n_attrs(),
+            n_tags: lake.n_tags(),
+            n_attr_tag_assocs: lake.n_attr_tag_assocs(),
+            n_attrs_with_topic,
+            n_tables_with_topic,
+            tags_per_table,
+            attrs_per_table,
+            attrs_per_tag,
+            mean_embedding_coverage,
+        }
+    }
+}
+
+impl std::fmt::Display for LakeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tables={} attrs={} tags={} attr-tag-assocs={}",
+            self.n_tables, self.n_attrs, self.n_tags, self.n_attr_tag_assocs
+        )?;
+        writeln!(
+            f,
+            "tags/table: mean={:.2} median={} max={}",
+            self.tags_per_table.mean, self.tags_per_table.median, self.tags_per_table.max
+        )?;
+        writeln!(
+            f,
+            "attrs/table: mean={:.2} median={} max={}",
+            self.attrs_per_table.mean, self.attrs_per_table.median, self.attrs_per_table.max
+        )?;
+        writeln!(
+            f,
+            "attrs/tag: mean={:.2} median={} max={}",
+            self.attrs_per_tag.mean, self.attrs_per_tag.median, self.attrs_per_tag.max
+        )?;
+        write!(
+            f,
+            "embedding coverage (mean over attrs): {:.1}%",
+            100.0 * self.mean_embedding_coverage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LakeBuilder;
+    use dln_embed::{SyntheticEmbedding, VocabularyConfig};
+
+    #[test]
+    fn distribution_summary() {
+        let d = Distribution::of(vec![5, 1, 3]);
+        assert!((d.mean - 3.0).abs() < 1e-9);
+        assert_eq!(d.median, 3);
+        assert_eq!(d.max, 5);
+    }
+
+    #[test]
+    fn distribution_even_count_uses_lower_median() {
+        let d = Distribution::of(vec![1, 2, 3, 4]);
+        assert_eq!(d.median, 2);
+    }
+
+    #[test]
+    fn distribution_empty() {
+        let d = Distribution::of(vec![]);
+        assert_eq!(d, Distribution::default());
+    }
+
+    #[test]
+    fn stats_over_small_lake() {
+        let m = SyntheticEmbedding::with_vocab_config(VocabularyConfig {
+            n_topics: 2,
+            words_per_topic: 4,
+            dim: 8,
+            sigma: 0.3,
+            seed: 9,
+            n_supertopics: 0,
+            supertopic_sigma: 0.7,
+        });
+        let w: Vec<String> = m.vocab().iter().map(|(_, s)| s.to_string()).collect();
+        let mut b = LakeBuilder::new(8);
+        let t0 = b.begin_table("t0");
+        b.add_tag(t0, "a");
+        b.add_tag(t0, "b");
+        b.add_attribute(t0, "c0", [w[0].as_str(), w[1].as_str()], &m);
+        let t1 = b.begin_table("t1");
+        b.add_tag(t1, "a");
+        b.add_attribute(t1, "c1", [w[2].as_str()], &m);
+        b.add_attribute(t1, "c2", ["zzz-unknown"], &m);
+        let lake = b.build();
+        let s = lake.stats();
+        assert_eq!(s.n_tables, 2);
+        assert_eq!(s.n_attrs, 3);
+        assert_eq!(s.n_tags, 2);
+        // t0 contributes 1 attr × 2 tags; t1 contributes 2 attrs × 1 tag.
+        assert_eq!(s.n_attr_tag_assocs, 4);
+        assert_eq!(s.n_attrs_with_topic, 2);
+        assert_eq!(s.n_tables_with_topic, 2);
+        assert_eq!(s.tags_per_table.max, 2);
+        assert_eq!(s.attrs_per_table.max, 2);
+        // c0: 2/2 covered, c1: 1/1, c2: 0/1 → mean 2/3.
+        assert!((s.mean_embedding_coverage - 2.0 / 3.0).abs() < 1e-9);
+        let rendered = format!("{s}");
+        assert!(rendered.contains("tables=2"));
+    }
+}

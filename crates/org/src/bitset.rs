@@ -1,0 +1,285 @@
+//! Fixed-capacity bitsets.
+//!
+//! Organization states carry two sets — their tags and their attributes —
+//! over small dense local universes (see [`crate::ctx`]). Unions during
+//! inclusion-property maintenance are the hot set operation, so the sets
+//! are plain `u64`-block bitsets with word-at-a-time operations.
+
+/// A fixed-capacity set of small integers backed by `u64` blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Box<[u64]>,
+    capacity: u32,
+}
+
+impl BitSet {
+    /// An empty set with room for values in `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            blocks: vec![0u64; capacity.div_ceil(64)].into_boxed_slice(),
+            capacity: capacity as u32,
+        }
+    }
+
+    /// A set containing every value in `0..capacity`.
+    pub fn full(capacity: usize) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(i as u32);
+        }
+        s
+    }
+
+    /// Build from an iterator of members.
+    pub fn from_iter_with_capacity(capacity: usize, iter: impl IntoIterator<Item = u32>) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The capacity (exclusive upper bound of storable values).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Insert `v`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        assert!(v < self.capacity, "bitset value {v} out of capacity");
+        let (b, m) = (v as usize / 64, 1u64 << (v % 64));
+        let fresh = self.blocks[b] & m == 0;
+        self.blocks[b] |= m;
+        fresh
+    }
+
+    /// Remove `v`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: u32) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        let (b, m) = (v as usize / 64, 1u64 << (v % 64));
+        let present = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        self.blocks[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when no members are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Remove all members.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// `self ∪= other`. Returns true if `self` changed.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            let merged = *a | *b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// Is `other` a subset of `self`?
+    pub fn is_superset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| b & !a == 0)
+    }
+
+    /// Members of `other` missing from `self` (i.e. `other \ self`).
+    pub fn missing_from(&self, other: &BitSet) -> impl Iterator<Item = u32> + '_ {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let diffs: Vec<u64> = other
+            .blocks
+            .iter()
+            .zip(self.blocks.iter())
+            .map(|(b, a)| b & !a)
+            .collect();
+        OnesIter {
+            blocks: diffs.into_boxed_slice(),
+            block_idx: 0,
+            current: 0,
+            initialized: false,
+        }
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        OnesIter {
+            blocks: self.blocks.clone(),
+            block_idx: 0,
+            current: 0,
+            initialized: false,
+        }
+    }
+}
+
+struct OnesIter {
+    blocks: Box<[u64]>,
+    block_idx: usize,
+    current: u64,
+    initialized: bool,
+}
+
+impl Iterator for OnesIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if !self.initialized {
+            self.initialized = true;
+            self.current = *self.blocks.first()?;
+        }
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.block_idx as u32) * 64 + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    /// Collect members, sizing capacity to `max + 1`.
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> BitSet {
+        let members: Vec<u32> = iter.into_iter().collect();
+        let cap = members.iter().max().map(|m| *m as usize + 1).unwrap_or(0);
+        BitSet::from_iter_with_capacity(cap, members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "double insert reports no change");
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut s = BitSet::new(128);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(127);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn union_with_reports_change() {
+        let mut a = BitSet::from_iter_with_capacity(70, [1, 2]);
+        let b = BitSet::from_iter_with_capacity(70, [2, 65]);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 65]);
+        assert!(!a.union_with(&b), "idempotent union reports no change");
+    }
+
+    #[test]
+    fn superset_checks() {
+        let a = BitSet::from_iter_with_capacity(70, [1, 2, 65]);
+        let b = BitSet::from_iter_with_capacity(70, [2, 65]);
+        assert!(a.is_superset_of(&b));
+        assert!(!b.is_superset_of(&a));
+        assert!(a.is_superset_of(&a));
+        let empty = BitSet::new(70);
+        assert!(a.is_superset_of(&empty));
+        assert!(empty.is_superset_of(&empty));
+    }
+
+    #[test]
+    fn missing_from_is_set_difference() {
+        let a = BitSet::from_iter_with_capacity(70, [1, 2]);
+        let b = BitSet::from_iter_with_capacity(70, [2, 3, 65]);
+        let diff: Vec<u32> = a.missing_from(&b).collect();
+        assert_eq!(diff, vec![3, 65]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.contains(64));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let s: BitSet = [3u32, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert!(s.contains(9));
+        let empty: BitSet = std::iter::empty().collect();
+        assert_eq!(empty.capacity(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_safe() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+}

@@ -1,0 +1,723 @@
+//! The navigation model and organization-effectiveness evaluation.
+//!
+//! Implements §2.2–§2.4 of the paper:
+//!
+//! * **Transition probability** (Eq 1): from state `s`, a user searching
+//!   for topic `X` moves to child `c` with probability
+//!   `softmax_c( (γ/|ch(s)|) · κ(c, X) )`, where `κ` is the cosine
+//!   similarity of topic vectors and the `1/|ch(s)|` factor penalizes
+//!   large branching factors.
+//! * **Reach probability** (Eqs 2–4): propagated from the root through the
+//!   DAG in topological order, summing over all discovery sequences.
+//! * **Attribute discovery** (Def. 1, instantiated as §4.3.4): the
+//!   probability of reaching one of the attribute's tag states times the
+//!   probability of selecting the attribute among that tag's attributes.
+//! * **Table discovery & effectiveness** (Def. 2, Eqs 5–6).
+//!
+//! The evaluator holds per-query reach arrays so that a local-search
+//! operation only re-evaluates its *affected subgraph* (§3.4): the
+//! descendants of the states whose outgoing transition distribution
+//! changed. Every delta application returns an undo token so a rejected
+//! Metropolis proposal rolls the evaluator back exactly.
+
+use dln_embed::dot;
+
+use crate::approx::Representatives;
+use crate::ctx::OrgContext;
+use crate::graph::{Organization, StateId};
+
+/// Navigation-model hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NavConfig {
+    /// The γ of Equation 1 (must be strictly positive). Larger values make
+    /// users more decisive; the `1/|ch(s)|` branching penalty divides it.
+    pub gamma: f32,
+}
+
+impl Default for NavConfig {
+    fn default() -> Self {
+        NavConfig { gamma: 20.0 }
+    }
+}
+
+/// One evaluation query: a representative attribute standing for a
+/// partition of attributes (§3.4). With exact evaluation every attribute is
+/// its own representative.
+#[derive(Clone, Debug)]
+struct Query {
+    /// Local id of the representative attribute.
+    attr: u32,
+    /// Final-hop terms: `(local tag, P(attr | tag state))` for each tag of
+    /// the representative. The hop probabilities never change during search
+    /// (tag populations are fixed), so they are precomputed.
+    hops: Vec<(u32, f64)>,
+}
+
+/// Rollback token for [`Evaluator::apply_delta`].
+#[derive(Debug, Default)]
+pub struct EvalUndo {
+    changed_reach: Vec<(u32, u32, f64)>,
+    changed_disc: Vec<(u32, f64)>,
+    changed_tables: Vec<(u32, f64)>,
+    old_sum: f64,
+}
+
+/// Re-evaluation cost counters for one delta (feeds Figure 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaStats {
+    /// States whose reach probabilities were recomputed.
+    pub states_visited: usize,
+    /// Discovery-probability evaluations performed (representatives).
+    pub queries_evaluated: usize,
+    /// Attributes covered by the re-evaluated representatives (exact mode:
+    /// equals `queries_evaluated`).
+    pub attrs_covered: usize,
+}
+
+/// Incremental evaluator of organization effectiveness (Eq 6).
+pub struct Evaluator {
+    nav: NavConfig,
+    queries: Vec<Query>,
+    /// Representative (query index) of each local attribute.
+    rep_of_attr: Vec<u32>,
+    /// Partition size of each query.
+    query_weight: Vec<u32>,
+    /// `reach[q][slot]`: probability of reaching state `slot` while
+    /// searching for query `q`'s topic.
+    reach: Vec<Vec<f64>>,
+    /// `disc[q]`: discovery probability of query `q`'s own attribute.
+    disc: Vec<f64>,
+    /// Tables (local ids) containing attributes represented by each query.
+    tables_of_query: Vec<Vec<u32>>,
+    /// Queries whose representative carries a given local tag.
+    queries_of_tag: Vec<Vec<u32>>,
+    /// `P(T | O)` per local table (Eq 5 with representative approximation).
+    table_prob: Vec<f64>,
+    sum_table_prob: f64,
+    /// Scratch: per-slot "is affected" marker.
+    affected_mark: Vec<bool>,
+}
+
+impl Evaluator {
+    /// Build an evaluator and run a full evaluation.
+    pub fn new(
+        ctx: &OrgContext,
+        org: &Organization,
+        nav: NavConfig,
+        reps: &Representatives,
+    ) -> Evaluator {
+        assert!(nav.gamma > 0.0, "gamma must be strictly positive (Eq 1)");
+        let gamma = nav.gamma;
+        let mut queries = Vec::with_capacity(reps.reps.len());
+        for &attr in &reps.reps {
+            let a = ctx.attr(attr);
+            let mut hops = Vec::with_capacity(a.tags.len());
+            for &t in &a.tags {
+                hops.push((t, final_hop(ctx, gamma, t, attr)));
+            }
+            queries.push(Query { attr, hops });
+        }
+        let mut query_weight = vec![0u32; queries.len()];
+        for &q in &reps.rep_of_attr {
+            query_weight[q as usize] += 1;
+        }
+        // Static maps.
+        let mut tables_of_query: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+        for (a, &q) in reps.rep_of_attr.iter().enumerate() {
+            let t = ctx.attr(a as u32).table;
+            if !tables_of_query[q as usize].contains(&t) {
+                tables_of_query[q as usize].push(t);
+            }
+        }
+        let mut queries_of_tag: Vec<Vec<u32>> = vec![Vec::new(); ctx.n_tags()];
+        for (qi, q) in queries.iter().enumerate() {
+            for &(t, _) in &q.hops {
+                queries_of_tag[t as usize].push(qi as u32);
+            }
+        }
+        let n_slots = org.n_slots();
+        let mut ev = Evaluator {
+            nav,
+            queries,
+            rep_of_attr: reps.rep_of_attr.clone(),
+            query_weight,
+            reach: Vec::new(),
+            disc: Vec::new(),
+            tables_of_query,
+            queries_of_tag,
+            table_prob: vec![0.0; ctx.n_tables()],
+            sum_table_prob: 0.0,
+            affected_mark: vec![false; n_slots],
+        };
+        ev.recompute_full(ctx, org);
+        ev
+    }
+
+    /// Organization effectiveness `P(T | O)` (Eq 6): the mean table
+    /// discovery probability over the context's tables.
+    pub fn effectiveness(&self) -> f64 {
+        if self.table_prob.is_empty() {
+            return 0.0;
+        }
+        self.sum_table_prob / self.table_prob.len() as f64
+    }
+
+    /// Discovery probability of a local attribute (via its representative).
+    pub fn attr_discovery(&self, attr: u32) -> f64 {
+        self.disc[self.rep_of_attr[attr as usize] as usize]
+    }
+
+    /// Discovery probability of a local table (Eq 5).
+    pub fn table_discovery(&self, table: u32) -> f64 {
+        self.table_prob[table as usize]
+    }
+
+    /// Mean reach probability of every state slot over all queries —
+    /// the reachability of Equation 10, used to pick operation targets.
+    pub fn reachability(&self) -> Vec<f64> {
+        let n_slots = self.affected_mark.len();
+        let mut out = vec![0.0f64; n_slots];
+        if self.queries.is_empty() {
+            return out;
+        }
+        for r in &self.reach {
+            for (o, v) in out.iter_mut().zip(r.iter()) {
+                *o += *v;
+            }
+        }
+        let inv = 1.0 / self.queries.len() as f64;
+        out.iter_mut().for_each(|v| *v *= inv);
+        out
+    }
+
+    /// Number of evaluation queries (representatives).
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Full (from scratch) evaluation of the current organization.
+    pub fn recompute_full(&mut self, ctx: &OrgContext, org: &Organization) {
+        let n_slots = org.n_slots();
+        self.affected_mark = vec![false; n_slots];
+        let order = org.topo_order();
+        self.reach = vec![vec![0.0; n_slots]; self.queries.len()];
+        self.disc = vec![0.0; self.queries.len()];
+        let mut weights: Vec<f64> = Vec::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            let unit = &ctx.attr(q.attr).unit_topic;
+            let reach = &mut self.reach[qi];
+            reach[org.root().index()] = 1.0;
+            for &s in &order {
+                let st = org.state(s);
+                if st.children.is_empty() || reach[s.index()] == 0.0 {
+                    continue;
+                }
+                transition_weights(org, self.nav.gamma, s, unit, &mut weights);
+                let r = reach[s.index()];
+                for (&c, &w) in st.children.iter().zip(weights.iter()) {
+                    reach[c.index()] += r * w;
+                }
+            }
+            self.disc[qi] = q
+                .hops
+                .iter()
+                .map(|&(t, hop)| reach[org.tag_state(t).index()] * hop)
+                .sum();
+        }
+        // Table probabilities.
+        self.sum_table_prob = 0.0;
+        for (ti, table) in ctx.tables().iter().enumerate() {
+            let p = self.compute_table_prob(table);
+            self.table_prob[ti] = p;
+            self.sum_table_prob += p;
+        }
+    }
+
+    fn compute_table_prob(&self, table: &crate::ctx::LocalTable) -> f64 {
+        let mut miss = 1.0f64;
+        for &a in &table.attrs {
+            miss *= 1.0 - self.disc[self.rep_of_attr[a as usize] as usize];
+        }
+        1.0 - miss
+    }
+
+    /// Incrementally re-evaluate after an operation. `dirty_parents` are
+    /// the states whose outgoing transition distribution changed (from
+    /// [`crate::ops::OpOutcome`]). Returns an undo token and cost counters.
+    pub fn apply_delta(
+        &mut self,
+        ctx: &OrgContext,
+        org: &Organization,
+        dirty_parents: &[StateId],
+    ) -> (EvalUndo, DeltaStats) {
+        let mut undo = EvalUndo {
+            old_sum: self.sum_table_prob,
+            ..Default::default()
+        };
+        // Affected set: descendants of the dirty parents' children.
+        let mut seeds: Vec<StateId> = Vec::new();
+        for &p in dirty_parents {
+            if !org.state(p).alive {
+                continue;
+            }
+            for &c in &org.state(p).children {
+                if org.state(c).alive && !seeds.contains(&c) {
+                    seeds.push(c);
+                }
+            }
+        }
+        let affected = org.descendants_of(&seeds);
+        if affected.is_empty() {
+            return (undo, DeltaStats::default());
+        }
+        for &s in &affected {
+            self.affected_mark[s.index()] = true;
+        }
+        // Parents to process: any alive state with an affected child, in
+        // global topological order (so affected parents are recomputed
+        // before their children consume them).
+        let order = org.topo_order();
+        let root = org.root();
+        let mut weights: Vec<f64> = Vec::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            let unit = &ctx.attr(q.attr).unit_topic;
+            let reach = &mut self.reach[qi];
+            // Save and zero affected entries.
+            for &s in &affected {
+                undo.changed_reach
+                    .push((qi as u32, s.0, reach[s.index()]));
+                reach[s.index()] = if s == root { 1.0 } else { 0.0 };
+            }
+            for &p in &order {
+                let st = org.state(p);
+                if st.children.is_empty() || reach[p.index()] == 0.0 {
+                    continue;
+                }
+                if !st.children.iter().any(|c| self.affected_mark[c.index()]) {
+                    continue;
+                }
+                transition_weights(org, self.nav.gamma, p, unit, &mut weights);
+                let r = reach[p.index()];
+                for (&c, &w) in st.children.iter().zip(weights.iter()) {
+                    if self.affected_mark[c.index()] {
+                        reach[c.index()] += r * w;
+                    }
+                }
+            }
+        }
+        // Discovery updates: queries whose representative has a tag whose
+        // tag state is affected.
+        let mut dirty_queries: Vec<u32> = Vec::new();
+        for &s in &affected {
+            if let Some(t) = org.state(s).tag {
+                for &qi in &self.queries_of_tag[t as usize] {
+                    if !dirty_queries.contains(&qi) {
+                        dirty_queries.push(qi);
+                    }
+                }
+            }
+        }
+        let mut attrs_covered = 0usize;
+        let mut dirty_tables: Vec<u32> = Vec::new();
+        for &qi in &dirty_queries {
+            let q = &self.queries[qi as usize];
+            let new_disc: f64 = q
+                .hops
+                .iter()
+                .map(|&(t, hop)| self.reach[qi as usize][org.tag_state(t).index()] * hop)
+                .sum();
+            if new_disc != self.disc[qi as usize] {
+                undo.changed_disc.push((qi, self.disc[qi as usize]));
+                self.disc[qi as usize] = new_disc;
+                for &t in &self.tables_of_query[qi as usize] {
+                    if !dirty_tables.contains(&t) {
+                        dirty_tables.push(t);
+                    }
+                }
+            }
+            attrs_covered += self.query_weight[qi as usize] as usize;
+        }
+        for &t in &dirty_tables {
+            let p = self.compute_table_prob(&ctx.tables()[t as usize]);
+            undo.changed_tables.push((t, self.table_prob[t as usize]));
+            self.sum_table_prob += p - self.table_prob[t as usize];
+            self.table_prob[t as usize] = p;
+        }
+        // Clear markers.
+        for &s in &affected {
+            self.affected_mark[s.index()] = false;
+        }
+        let stats = DeltaStats {
+            states_visited: affected.len(),
+            queries_evaluated: dirty_queries.len(),
+            attrs_covered,
+        };
+        (undo, stats)
+    }
+
+    /// Roll back a delta exactly (inverse of [`apply_delta`]).
+    ///
+    /// [`apply_delta`]: Evaluator::apply_delta
+    pub fn rollback(&mut self, undo: EvalUndo) {
+        for &(q, slot, v) in undo.changed_reach.iter().rev() {
+            self.reach[q as usize][slot as usize] = v;
+        }
+        for &(q, v) in undo.changed_disc.iter().rev() {
+            self.disc[q as usize] = v;
+        }
+        for &(t, v) in undo.changed_tables.iter().rev() {
+            self.table_prob[t as usize] = v;
+        }
+        self.sum_table_prob = undo.old_sum;
+    }
+}
+
+/// Transition probabilities from `s` to each of its children for a query
+/// unit vector (Eq 1), written into `out` (parallel to `children`).
+fn transition_weights(
+    org: &Organization,
+    gamma: f32,
+    s: StateId,
+    query_unit: &[f32],
+    out: &mut Vec<f64>,
+) {
+    let st = org.state(s);
+    let n = st.children.len();
+    out.clear();
+    out.reserve(n);
+    let scale = gamma as f64 / n as f64;
+    let mut max_score = f64::NEG_INFINITY;
+    for &c in &st.children {
+        let kappa = dot(&org.state(c).unit_topic, query_unit) as f64;
+        let score = scale * kappa;
+        max_score = max_score.max(score);
+        out.push(score);
+    }
+    let mut sum = 0.0f64;
+    for v in out.iter_mut() {
+        *v = (*v - max_score).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Final-hop probability `P(attr | tag state)` (§4.3.4): a softmax over the
+/// tag's attribute population with the same form as Eq 1 (branching factor
+/// = the population size), evaluated at query topic = the attribute itself.
+fn final_hop(ctx: &OrgContext, gamma: f32, tag: u32, attr: u32) -> f64 {
+    let pop = &ctx.tag(tag).attrs;
+    debug_assert!(pop.contains(&attr));
+    let unit = &ctx.attr(attr).unit_topic;
+    let scale = gamma as f64 / pop.len() as f64;
+    let mut max_score = f64::NEG_INFINITY;
+    let mut scores = Vec::with_capacity(pop.len());
+    let mut own = 0usize;
+    for (i, &b) in pop.iter().enumerate() {
+        if b == attr {
+            own = i;
+        }
+        let s = scale * dot(&ctx.attr(b).unit_topic, unit) as f64;
+        max_score = max_score.max(s);
+        scores.push(s);
+    }
+    let mut sum = 0.0;
+    for s in &mut scores {
+        *s = (*s - max_score).exp();
+        sum += *s;
+    }
+    if sum > 0.0 {
+        scores[own] / sum
+    } else {
+        0.0
+    }
+}
+
+/// Exact discovery probabilities of *every* context attribute under its own
+/// query topic (`X = A`, Def. 1) — the quantity reported by the paper's
+/// success-probability experiments. Runs the reach DP once per attribute,
+/// fanning out over `n_threads`.
+pub fn discovery_probs(
+    ctx: &OrgContext,
+    org: &Organization,
+    nav: NavConfig,
+    n_threads: usize,
+) -> Vec<f64> {
+    let n = ctx.n_attrs();
+    let order = org.topo_order();
+    let n_threads = n_threads.max(1).min(n.max(1));
+    let mut out = vec![0.0f64; n];
+    if n == 0 {
+        return out;
+    }
+    let chunk = n.div_ceil(n_threads);
+    let chunks: Vec<(usize, &mut [f64])> = out.chunks_mut(chunk).enumerate().collect();
+    std::thread::scope(|scope| {
+        for (ci, slot) in chunks {
+            let order = &order;
+            let start = ci * chunk;
+            scope.spawn(move || {
+                let mut reach = vec![0.0f64; org.n_slots()];
+                let mut weights: Vec<f64> = Vec::new();
+                for (i, o) in slot.iter_mut().enumerate() {
+                    let attr = (start + i) as u32;
+                    let a = ctx.attr(attr);
+                    let unit = &a.unit_topic;
+                    reach.iter_mut().for_each(|r| *r = 0.0);
+                    reach[org.root().index()] = 1.0;
+                    for &s in order {
+                        let st = org.state(s);
+                        if st.children.is_empty() || reach[s.index()] == 0.0 {
+                            continue;
+                        }
+                        transition_weights(org, nav.gamma, s, unit, &mut weights);
+                        let r = reach[s.index()];
+                        for (&c, &w) in st.children.iter().zip(weights.iter()) {
+                            reach[c.index()] += r * w;
+                        }
+                    }
+                    *o = a
+                        .tags
+                        .iter()
+                        .map(|&t| {
+                            reach[org.tag_state(t).index()] * final_hop(ctx, nav.gamma, t, attr)
+                        })
+                        .sum();
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::Representatives;
+    use crate::init::{clustering_org, flat_org};
+    use crate::ops;
+    use dln_synth::TagCloudConfig;
+
+    fn setup() -> (OrgContext, Organization) {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        (ctx, org)
+    }
+
+    fn evaluator(ctx: &OrgContext, org: &Organization) -> Evaluator {
+        let reps = Representatives::exact(ctx);
+        Evaluator::new(ctx, org, NavConfig::default(), &reps)
+    }
+
+    #[test]
+    fn reach_probabilities_are_a_distribution_over_levels() {
+        let (ctx, org) = setup();
+        let ev = evaluator(&ctx, &org);
+        // For each query, the reach of the root is 1 and the total reach
+        // of the tag states is ≤ 1 (paths can only lose mass at splits...
+        // actually in a tree it is exactly 1).
+        for (qi, _) in ev.queries.iter().enumerate() {
+            let reach = &ev.reach[qi];
+            assert!((reach[org.root().index()] - 1.0).abs() < 1e-12);
+            let leaf_sum: f64 = org
+                .tag_states()
+                .iter()
+                .map(|ts| reach[ts.index()])
+                .sum();
+            assert!(
+                (leaf_sum - 1.0).abs() < 1e-6,
+                "tree mass conservation: {leaf_sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn discovery_probs_are_probabilities() {
+        let (ctx, org) = setup();
+        let ev = evaluator(&ctx, &org);
+        for a in 0..ctx.n_attrs() as u32 {
+            let d = ev.attr_discovery(a);
+            assert!((0.0..=1.0).contains(&d), "disc {d} out of range");
+        }
+        for t in 0..ctx.n_tables() as u32 {
+            let p = ev.table_discovery(t);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        let eff = ev.effectiveness();
+        assert!(eff > 0.0 && eff < 1.0, "effectiveness {eff}");
+    }
+
+    #[test]
+    fn effectiveness_is_mean_of_table_probs() {
+        let (ctx, org) = setup();
+        let ev = evaluator(&ctx, &org);
+        let mean: f64 = (0..ctx.n_tables() as u32)
+            .map(|t| ev.table_discovery(t))
+            .sum::<f64>()
+            / ctx.n_tables() as f64;
+        assert!((ev.effectiveness() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_beats_flat_baseline() {
+        // The core claim of Figure 2(a)'s first comparison.
+        let (ctx, _) = setup();
+        let flat = flat_org(&ctx);
+        let clus = clustering_org(&ctx);
+        let ev_flat = evaluator(&ctx, &flat);
+        let ev_clus = evaluator(&ctx, &clus);
+        assert!(
+            ev_clus.effectiveness() > ev_flat.effectiveness(),
+            "clustering {} must beat flat {}",
+            ev_clus.effectiveness(),
+            ev_flat.effectiveness()
+        );
+    }
+
+    #[test]
+    fn own_attribute_has_high_final_hop() {
+        let (ctx, _) = setup();
+        // For a TagCloud attribute, the final hop compares it against its
+        // tag siblings; it must be at least the uniform share.
+        for a in (0..ctx.n_attrs() as u32).step_by(17) {
+            let t = ctx.attr(a).tags[0];
+            let pop = ctx.tag(t).attrs.len();
+            let hop = final_hop(&ctx, 20.0, t, a);
+            assert!(
+                hop >= 1.0 / (pop as f64) - 1e-9,
+                "hop {hop} below uniform 1/{pop}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_delta_matches_full_recompute() {
+        let (ctx, mut org) = setup();
+        let mut ev = evaluator(&ctx, &org);
+        let reach = ev.reachability();
+        // Apply an ADD_PARENT and compare incremental vs full evaluation.
+        let s = org.tag_state(3);
+        let out = ops::try_add_parent(&mut org, &ctx, s, &reach).expect("applicable");
+        let (_undo, stats) = ev.apply_delta(&ctx, &org, &out.dirty_parents);
+        assert!(stats.states_visited > 0);
+        let eff_incremental = ev.effectiveness();
+        let ev_full = evaluator(&ctx, &org);
+        assert!(
+            (eff_incremental - ev_full.effectiveness()).abs() < 1e-9,
+            "incremental {} vs full {}",
+            eff_incremental,
+            ev_full.effectiveness()
+        );
+        // Per-attribute agreement.
+        for a in 0..ctx.n_attrs() as u32 {
+            assert!((ev.attr_discovery(a) - ev_full.attr_discovery(a)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_rollback_restores_evaluator() {
+        let (ctx, mut org) = setup();
+        let mut ev = evaluator(&ctx, &org);
+        let eff_before = ev.effectiveness();
+        let disc_before: Vec<f64> = (0..ctx.n_attrs() as u32)
+            .map(|a| ev.attr_discovery(a))
+            .collect();
+        let reach = ev.reachability();
+        let s = org.tag_state(5);
+        let out = ops::try_add_parent(&mut org, &ctx, s, &reach).expect("applicable");
+        let (undo, _) = ev.apply_delta(&ctx, &org, &out.dirty_parents);
+        ev.rollback(undo);
+        ops::undo(&mut org, &ctx, out);
+        assert!((ev.effectiveness() - eff_before).abs() < 1e-12);
+        for (a, &d) in disc_before.iter().enumerate() {
+            assert!((ev.attr_discovery(a as u32) - d).abs() < 1e-12);
+        }
+        // And the evaluator still agrees with a fresh one.
+        let fresh = evaluator(&ctx, &org);
+        assert!((ev.effectiveness() - fresh.effectiveness()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_matches_after_delete_parent() {
+        let (ctx, mut org) = setup();
+        let mut ev = evaluator(&ctx, &org);
+        let reach = ev.reachability();
+        let s = (0..ctx.n_tags() as u32)
+            .map(|t| org.tag_state(t))
+            .find(|&ts| {
+                org.state(ts)
+                    .parents
+                    .iter()
+                    .any(|&p| p != org.root() && org.state(p).tag.is_none())
+            })
+            .expect("deep tag state");
+        let out = ops::try_delete_parent(&mut org, &ctx, s, &reach).expect("applicable");
+        let (_undo, stats) = ev.apply_delta(&ctx, &org, &out.dirty_parents);
+        assert!(stats.states_visited > 0);
+        let ev_full = evaluator(&ctx, &org);
+        assert!(
+            (ev.effectiveness() - ev_full.effectiveness()).abs() < 1e-9,
+            "incremental {} vs full {}",
+            ev.effectiveness(),
+            ev_full.effectiveness()
+        );
+    }
+
+    #[test]
+    fn affected_subgraph_is_a_strict_subset() {
+        // Pruning claim of Figure 3: a local change re-evaluates fewer than
+        // all states.
+        let (ctx, mut org) = setup();
+        let mut ev = evaluator(&ctx, &org);
+        let reach = ev.reachability();
+        let s = org.tag_state(1);
+        let out = ops::try_add_parent(&mut org, &ctx, s, &reach).expect("applicable");
+        let (_undo, stats) = ev.apply_delta(&ctx, &org, &out.dirty_parents);
+        assert!(
+            stats.states_visited < org.n_alive(),
+            "visited {} of {} states",
+            stats.states_visited,
+            org.n_alive()
+        );
+    }
+
+    #[test]
+    fn exact_discovery_probs_match_evaluator_with_exact_reps() {
+        let (ctx, org) = setup();
+        let ev = evaluator(&ctx, &org);
+        let exact = discovery_probs(&ctx, &org, NavConfig::default(), 2);
+        for a in 0..ctx.n_attrs() as u32 {
+            assert!(
+                (exact[a as usize] - ev.attr_discovery(a)).abs() < 1e-9,
+                "attr {a}: {} vs {}",
+                exact[a as usize],
+                ev.attr_discovery(a)
+            );
+        }
+    }
+
+    #[test]
+    fn representative_approximation_is_close() {
+        let (ctx, org) = setup();
+        let exact_ev = evaluator(&ctx, &org);
+        let approx_reps = Representatives::kmedoids(&ctx, 0.2, 7);
+        let approx_ev = Evaluator::new(&ctx, &org, NavConfig::default(), &approx_reps);
+        let (e, a) = (exact_ev.effectiveness(), approx_ev.effectiveness());
+        assert!(
+            (e - a).abs() / e < 0.5,
+            "approx effectiveness {a} far from exact {e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be strictly positive")]
+    fn non_positive_gamma_panics() {
+        let (ctx, org) = setup();
+        let reps = Representatives::exact(&ctx);
+        Evaluator::new(&ctx, &org, NavConfig { gamma: 0.0 }, &reps);
+    }
+}

@@ -1,0 +1,398 @@
+//! Organization persistence and visualization.
+//!
+//! * [`to_dot`] renders an organization as GraphViz DOT, with tag states as
+//!   boxes and interior states labelled by their most popular tags — handy
+//!   for eyeballing what the local search did to a hierarchy.
+//! * [`save_json`] / [`load_json`] persist an organization (structure +
+//!   tag sets; attribute sets and topic vectors are re-derived from the
+//!   context on load, so files stay small and can never go stale against
+//!   the lake). The format is a stable, hand-readable JSON document.
+//!
+//! JSON is emitted and parsed with a small local serializer to keep the
+//! dependency surface minimal (serde is used elsewhere for derives only;
+//! organizations need a custom round-trip through the context anyway).
+
+use std::fmt::Write as _;
+
+use crate::bitset::BitSet;
+use crate::ctx::OrgContext;
+use crate::graph::{Organization, StateId};
+
+/// Render the alive part of an organization as GraphViz DOT.
+pub fn to_dot(ctx: &OrgContext, org: &Organization, max_label_tags: usize) -> String {
+    let mut out = String::from("digraph organization {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    for sid in org.alive_ids() {
+        let s = org.state(sid);
+        let label = org
+            .label(ctx, sid, max_label_tags)
+            .replace('"', "'");
+        let shape = if s.tag.is_some() {
+            "box"
+        } else if sid == org.root() {
+            "doubleoctagon"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{}\\n{} tags / {} attrs\", shape={}];",
+            sid.0,
+            label,
+            s.tags.len(),
+            s.attrs.len(),
+            shape
+        );
+    }
+    for sid in org.alive_ids() {
+        for &c in &org.state(sid).children {
+            let _ = writeln!(out, "  s{} -> s{};", sid.0, c.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serialize an organization to the JSON document format.
+///
+/// Only alive interior structure is stored: for every alive state, its tag
+/// list (by tag *label*, so files survive lake re-ingestion as long as the
+/// tags exist) and its children by index. Tag states are identified by
+/// their single tag.
+pub fn save_json(ctx: &OrgContext, org: &Organization) -> String {
+    // Dense re-indexing of alive states.
+    let alive: Vec<StateId> = org.alive_ids().collect();
+    let index_of = |sid: StateId| alive.iter().position(|&x| x == sid).expect("alive");
+    let mut out = String::from("{\n  \"format\": \"dln-organization-v1\",\n  \"states\": [\n");
+    for (i, &sid) in alive.iter().enumerate() {
+        let s = org.state(sid);
+        let tags: Vec<String> = s
+            .tags
+            .iter()
+            .map(|t| json_escape(&ctx.tag(t).label))
+            .collect();
+        let children: Vec<String> = s
+            .children
+            .iter()
+            .map(|&c| index_of(c).to_string())
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"root\": {}, \"tag_state\": {}, \"tags\": [{}], \"children\": [{}]}}",
+            sid == org.root(),
+            s.tag.is_some(),
+            tags.iter()
+                .map(|t| format!("\"{t}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            children.join(", ")
+        );
+        out.push_str(if i + 1 < alive.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            '\r' => "\\r".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Errors from [`load_json`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The document is not the expected format.
+    BadFormat(String),
+    /// A tag label in the file does not exist in the context.
+    UnknownTag(String),
+    /// The document's structure is inconsistent (bad child index, no root,
+    /// a tag state with the wrong arity, …).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadFormat(m) => write!(f, "bad format: {m}"),
+            LoadError::UnknownTag(t) => write!(f, "unknown tag: {t}"),
+            LoadError::Inconsistent(m) => write!(f, "inconsistent organization: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Deserialize an organization saved by [`save_json`], re-deriving
+/// attribute sets and topic vectors from `ctx` and validating the result.
+pub fn load_json(ctx: &OrgContext, json: &str) -> Result<Organization, LoadError> {
+    let parsed = parse_states(json)?;
+    // Build: tag states first (identified), then interiors.
+    let mut org = Organization::with_tag_states(ctx);
+    let n = parsed.len();
+    let mut sid_of: Vec<Option<StateId>> = vec![None; n];
+    let mut root_idx: Option<usize> = None;
+    for (i, st) in parsed.iter().enumerate() {
+        if st.root {
+            if root_idx.is_some() {
+                return Err(LoadError::Inconsistent("multiple roots".into()));
+            }
+            root_idx = Some(i);
+        }
+        let mut tagset = BitSet::new(ctx.n_tags());
+        for label in &st.tags {
+            let Some(local) = ctx
+                .tags()
+                .iter()
+                .position(|t| &t.label == label)
+                .map(|p| p as u32)
+            else {
+                return Err(LoadError::UnknownTag(label.clone()));
+            };
+            tagset.insert(local);
+        }
+        if st.tag_state {
+            if tagset.len() != 1 {
+                return Err(LoadError::Inconsistent(format!(
+                    "tag state {i} has {} tags",
+                    tagset.len()
+                )));
+            }
+            let t = tagset.iter().next().expect("one tag");
+            sid_of[i] = Some(org.tag_state(t));
+        } else if st.root {
+            sid_of[i] = Some(org.root());
+        } else {
+            sid_of[i] = Some(org.add_state(ctx, tagset, None));
+        }
+    }
+    let Some(_root) = root_idx else {
+        return Err(LoadError::Inconsistent("no root state".into()));
+    };
+    for (i, st) in parsed.iter().enumerate() {
+        let parent = sid_of[i].expect("assigned");
+        for &c in &st.children {
+            let Some(child) = sid_of.get(c).copied().flatten() else {
+                return Err(LoadError::Inconsistent(format!("bad child index {c}")));
+            };
+            org.add_edge(parent, child);
+        }
+    }
+    org.validate(ctx).map_err(LoadError::Inconsistent)?;
+    Ok(org)
+}
+
+struct ParsedState {
+    root: bool,
+    tag_state: bool,
+    tags: Vec<String>,
+    children: Vec<usize>,
+}
+
+/// A minimal parser for exactly the document shape [`save_json`] writes.
+fn parse_states(json: &str) -> Result<Vec<ParsedState>, LoadError> {
+    if !json.contains("\"dln-organization-v1\"") {
+        return Err(LoadError::BadFormat(
+            "missing dln-organization-v1 marker".into(),
+        ));
+    }
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"tags\"") {
+            continue;
+        }
+        let root = field(line, "\"root\":").is_some_and(|v| v.starts_with("true"));
+        let tag_state = field(line, "\"tag_state\":").is_some_and(|v| v.starts_with("true"));
+        let tags = string_array(line, "\"tags\":")
+            .ok_or_else(|| LoadError::BadFormat(format!("no tags array in: {line}")))?;
+        let children_raw = array_body(line, "\"children\":")
+            .ok_or_else(|| LoadError::BadFormat(format!("no children array in: {line}")))?;
+        let mut children = Vec::new();
+        for part in children_raw.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            children.push(
+                part.parse::<usize>()
+                    .map_err(|_| LoadError::BadFormat(format!("bad child index {part}")))?,
+            );
+        }
+        out.push(ParsedState {
+            root,
+            tag_state,
+            tags,
+            children,
+        });
+    }
+    if out.is_empty() {
+        return Err(LoadError::BadFormat("no states found".into()));
+    }
+    Ok(out)
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let at = line.find(key)? + key.len();
+    Some(line[at..].trim_start())
+}
+
+fn array_body<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = field(line, key)?;
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    Some(&rest[open + 1..close])
+}
+
+fn string_array(line: &str, key: &str) -> Option<Vec<String>> {
+    let body = array_body(line, key)?;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for ch in body.chars() {
+        if escape {
+            cur.push(match ch {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                c => c,
+            });
+            escape = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => escape = true,
+            '"' => {
+                if in_str {
+                    out.push(std::mem::take(&mut cur));
+                }
+                in_str = !in_str;
+            }
+            c if in_str => cur.push(c),
+            _ => {}
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{clustering_org, flat_org};
+    use dln_synth::TagCloudConfig;
+
+    fn setup() -> (OrgContext, Organization) {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        (ctx, org)
+    }
+
+    #[test]
+    fn dot_contains_all_alive_states_and_edges() {
+        let (ctx, org) = setup();
+        let dot = to_dot(&ctx, &org, 2);
+        assert!(dot.starts_with("digraph organization {"));
+        assert_eq!(
+            dot.matches("shape=box").count(),
+            ctx.n_tags(),
+            "one box per tag state"
+        );
+        assert_eq!(dot.matches(" -> ").count(), org.n_edges());
+        assert!(dot.contains("doubleoctagon"), "root is marked");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let (ctx, org) = setup();
+        let json = save_json(&ctx, &org);
+        let loaded = load_json(&ctx, &json).expect("load");
+        loaded.validate(&ctx).expect("valid");
+        assert_eq!(loaded.n_alive(), org.n_alive());
+        assert_eq!(loaded.n_edges(), org.n_edges());
+        // Same evaluator result — structure is semantically identical.
+        let reps = crate::approx::Representatives::exact(&ctx);
+        let e1 = crate::eval::Evaluator::new(&ctx, &org, crate::eval::NavConfig::default(), &reps)
+            .effectiveness();
+        let e2 =
+            crate::eval::Evaluator::new(&ctx, &loaded, crate::eval::NavConfig::default(), &reps)
+                .effectiveness();
+        assert!((e1 - e2).abs() < 1e-12, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn json_roundtrip_after_optimization() {
+        let (ctx, mut org) = setup();
+        let cfg = crate::search::SearchConfig {
+            max_iters: 100,
+            ..Default::default()
+        };
+        crate::search::optimize(&ctx, &mut org, &cfg);
+        let json = save_json(&ctx, &org);
+        let loaded = load_json(&ctx, &json).expect("load optimized");
+        assert_eq!(loaded.n_alive(), org.n_alive());
+        assert_eq!(loaded.n_edges(), org.n_edges());
+    }
+
+    #[test]
+    fn flat_org_roundtrip() {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = flat_org(&ctx);
+        let loaded = load_json(&ctx, &save_json(&ctx, &org)).expect("load");
+        assert_eq!(loaded.n_edges(), ctx.n_tags());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let (ctx, _) = setup();
+        assert!(matches!(
+            load_json(&ctx, "{}"),
+            Err(LoadError::BadFormat(_))
+        ));
+        assert!(matches!(
+            load_json(&ctx, "not json at all"),
+            Err(LoadError::BadFormat(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_unknown_tags() {
+        let (ctx, org) = setup();
+        let json = save_json(&ctx, &org).replace(
+            &format!("\"{}\"", ctx.tag(0).label),
+            "\"no-such-tag-label\"",
+        );
+        assert!(matches!(
+            load_json(&ctx, &json),
+            Err(LoadError::UnknownTag(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_bad_child_index() {
+        let (ctx, org) = setup();
+        let json = save_json(&ctx, &org);
+        // Corrupt a child index to something out of range.
+        let corrupted = json.replace("\"children\": [", "\"children\": [99999, ");
+        let r = load_json(&ctx, &corrupted);
+        assert!(
+            matches!(r, Err(LoadError::Inconsistent(_))),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn escaped_labels_roundtrip() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let arr = string_array(r#"{"tags": ["a\"b", "c d"]}"#, "\"tags\":").unwrap();
+        assert_eq!(arr, vec!["a\"b".to_string(), "c d".to_string()]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Initial organizations.
+//!
+//! * [`flat_org`] — the baseline: a single root over all tag states. This
+//!   is "conceptually the navigation structure supported by many open data
+//!   APIs that permit retrieval of tables by tag" (§3.2) and the `baseline`
+//!   series of Figure 2(a).
+//! * [`clustering_org`] — an agglomerative hierarchical clustering of the
+//!   tag states with branching factor 2 (§4.3.1), which is both the
+//!   `clustering` series of Figure 2(a) and the initial organization handed
+//!   to the local-search optimizer ("the initial organization can be the
+//!   DAG defined based on a hierarchical clustering of the tags", §3.3).
+
+use dln_cluster::{CosinePoints, Dendrogram};
+
+use crate::bitset::BitSet;
+use crate::ctx::OrgContext;
+use crate::graph::{Organization, StateId};
+
+/// A *random* binary hierarchy over the tag states: structurally identical
+/// to [`clustering_org`] but with merges chosen uniformly at random, i.e.
+/// no topical coherence at all.
+///
+/// This is the ablation initializer: in our synthetic embedding space the
+/// informed dendrogram is already near a local optimum of the navigation
+/// model (see `EXPERIMENTS.md`), so the random hierarchy is how we
+/// demonstrate that the §3.3 local search genuinely repairs bad structure
+/// — the situation a real lake's noisy fastText vectors put the
+/// initializer in.
+pub fn random_org(ctx: &OrgContext, seed: u64) -> Organization {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut org = Organization::with_tag_states(ctx);
+    let n = ctx.n_tags();
+    if n == 0 {
+        return org;
+    }
+    if n == 1 {
+        org.add_edge(org.root(), org.tag_state(0));
+        return org;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Active forest roots: (state, tag set).
+    let mut active: Vec<(StateId, BitSet)> = (0..n as u32)
+        .map(|t| {
+            (
+                org.tag_state(t),
+                BitSet::from_iter_with_capacity(n, [t]),
+            )
+        })
+        .collect();
+    while active.len() > 2 {
+        let i = rng.random_range(0..active.len());
+        let (sa, ta) = active.swap_remove(i);
+        let j = rng.random_range(0..active.len());
+        let (sb, tb) = active.swap_remove(j);
+        let mut tags = ta;
+        tags.union_with(&tb);
+        let parent = org.add_state(ctx, tags.clone(), None);
+        org.add_edge(parent, sa);
+        org.add_edge(parent, sb);
+        active.push((parent, tags));
+    }
+    for (s, _) in active {
+        org.add_edge(org.root(), s);
+    }
+    org
+}
+
+/// The flat (tag-portal) baseline: root → every tag state.
+pub fn flat_org(ctx: &OrgContext) -> Organization {
+    let mut org = Organization::with_tag_states(ctx);
+    for t in 0..ctx.n_tags() as u32 {
+        org.add_edge(org.root(), org.tag_state(t));
+    }
+    org
+}
+
+/// A binary hierarchy over tag states from average-linkage agglomerative
+/// clustering of the tags' topic vectors (cosine distance). The dendrogram
+/// root coincides with the organization root.
+pub fn clustering_org(ctx: &OrgContext) -> Organization {
+    let mut org = Organization::with_tag_states(ctx);
+    let n = ctx.n_tags();
+    if n == 0 {
+        return org;
+    }
+    if n == 1 {
+        org.add_edge(org.root(), org.tag_state(0));
+        return org;
+    }
+    let points = CosinePoints::new(ctx.tags().iter().map(|t| t.unit_topic.as_slice()).collect());
+    let dend = Dendrogram::average_linkage(&points);
+    // Map dendrogram node → organization state. Leaves are tag states; the
+    // final merge is the organization root; other merges become interior
+    // states with the union tag set.
+    let n_nodes = dend.n_nodes();
+    let mut state_of: Vec<StateId> = vec![StateId(u32::MAX); n_nodes];
+    for t in 0..n as u32 {
+        state_of[t as usize] = org.tag_state(t);
+    }
+    // Tag membership per dendrogram node, built bottom-up.
+    let mut tags_of: Vec<Option<BitSet>> = vec![None; n_nodes];
+    for (t, slot) in tags_of.iter_mut().enumerate().take(n) {
+        *slot = Some(BitSet::from_iter_with_capacity(n, [t as u32]));
+    }
+    for (i, m) in dend.merges().iter().enumerate() {
+        let node = n + i;
+        let mut tags = tags_of[m.a as usize]
+            .clone()
+            .expect("child tags computed before parent");
+        tags.union_with(tags_of[m.b as usize].as_ref().expect("child tags"));
+        let sid = if i + 1 == dend.merges().len() {
+            org.root()
+        } else {
+            org.add_state(ctx, tags.clone(), None)
+        };
+        state_of[node] = sid;
+        org.add_edge(sid, state_of[m.a as usize]);
+        org.add_edge(sid, state_of[m.b as usize]);
+        tags_of[node] = Some(tags);
+    }
+    org
+}
+
+/// A *divisive* hierarchy: recursively bisect the tag set with 2-medoids
+/// until groups are singletons. Produces balanced trees of depth
+/// ≈ log₂(n) even when tags are highly correlated — average-linkage
+/// agglomerative clustering famously *chains* on correlated data and can
+/// produce near-linear hierarchies, which are terrible to navigate. This
+/// initializer is the ablation alternative (`--init bisecting` in the
+/// ablation bench).
+pub fn bisecting_org(ctx: &OrgContext, seed: u64) -> Organization {
+    let mut org = Organization::with_tag_states(ctx);
+    let n = ctx.n_tags();
+    if n == 0 {
+        return org;
+    }
+    if n == 1 {
+        org.add_edge(org.root(), org.tag_state(0));
+        return org;
+    }
+    // Recursive bisection; each call owns a tag group and a parent state.
+    fn split(
+        org: &mut Organization,
+        ctx: &OrgContext,
+        parent: StateId,
+        group: &[u32],
+        seed: u64,
+        depth: u64,
+    ) {
+        debug_assert!(group.len() >= 2);
+        let points = dln_cluster::CosinePoints::new(
+            group
+                .iter()
+                .map(|&t| ctx.tag(t).unit_topic.as_slice())
+                .collect(),
+        );
+        let km = dln_cluster::KMedoids::fit(&points, 2, seed ^ depth.wrapping_mul(0x9E37));
+        let mut halves: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for (i, &c) in km.assignments.iter().enumerate() {
+            halves[c.min(1)].push(group[i]);
+        }
+        // Degenerate split (all points identical): force a balanced cut.
+        if halves[0].is_empty() || halves[1].is_empty() {
+            let mid = group.len() / 2;
+            halves[0] = group[..mid].to_vec();
+            halves[1] = group[mid..].to_vec();
+        }
+        for half in halves {
+            if half.len() == 1 {
+                org.add_edge(parent, org.tag_state(half[0]));
+            } else {
+                let tags = BitSet::from_iter_with_capacity(ctx.n_tags(), half.iter().copied());
+                let child = org.add_state(ctx, tags, None);
+                org.add_edge(parent, child);
+                split(org, ctx, child, &half, seed, depth + 1);
+            }
+        }
+    }
+    let all: Vec<u32> = (0..n as u32).collect();
+    let root = org.root();
+    split(&mut org, ctx, root, &all, seed, 1);
+    org
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dln_synth::TagCloudConfig;
+
+    fn ctx() -> OrgContext {
+        let bench = TagCloudConfig::small().generate();
+        OrgContext::full(&bench.lake)
+    }
+
+    #[test]
+    fn flat_is_valid_and_shallow() {
+        let ctx = ctx();
+        let org = flat_org(&ctx);
+        org.validate(&ctx).expect("valid");
+        let levels = org.levels();
+        for t in 0..ctx.n_tags() as u32 {
+            assert_eq!(levels[org.tag_state(t).index()], 1);
+        }
+        let root = org.state(org.root());
+        assert_eq!(root.children.len(), ctx.n_tags());
+    }
+
+    #[test]
+    fn clustering_is_valid_binary_tree() {
+        let ctx = ctx();
+        let org = clustering_org(&ctx);
+        org.validate(&ctx).expect("valid");
+        // Every interior state has exactly two children (binary dendrogram).
+        for sid in org.alive_ids() {
+            let s = org.state(sid);
+            if s.tag.is_none() {
+                assert_eq!(s.children.len(), 2, "state {sid:?} not binary");
+            }
+        }
+        // 2n - 1 states total for n tags.
+        assert_eq!(org.n_alive(), 2 * ctx.n_tags() - 1);
+    }
+
+    #[test]
+    fn clustering_depth_is_logarithmic_ish() {
+        let ctx = ctx();
+        let org = clustering_org(&ctx);
+        let levels = org.levels();
+        let max = levels
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .max()
+            .copied()
+            .unwrap();
+        let n = ctx.n_tags();
+        assert!(
+            (max as usize) < n,
+            "depth {max} must beat the flat degenerate chain"
+        );
+        assert!(max >= (n as f64).log2().floor() as u32);
+    }
+
+    #[test]
+    fn clustering_groups_similar_tags() {
+        // Tags of the same vocabulary topic should share a low parent more
+        // often than random ones; sanity check via sibling similarity.
+        let ctx = ctx();
+        let org = clustering_org(&ctx);
+        // For each interior parent of two tag states, their cosine should
+        // be above the average pairwise cosine.
+        let mut paired = Vec::new();
+        for sid in org.alive_ids() {
+            let s = org.state(sid);
+            if s.children.len() == 2 {
+                let (a, b) = (org.state(s.children[0]), org.state(s.children[1]));
+                if let (Some(ta), Some(tb)) = (a.tag, b.tag) {
+                    paired.push(dln_embed::dot(
+                        &ctx.tag(ta).unit_topic,
+                        &ctx.tag(tb).unit_topic,
+                    ));
+                }
+            }
+        }
+        assert!(!paired.is_empty());
+        let avg_paired: f32 = paired.iter().sum::<f32>() / paired.len() as f32;
+        // Average over all pairs.
+        let n = ctx.n_tags();
+        let mut all = 0.0f32;
+        let mut cnt = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                all += dln_embed::dot(
+                    &ctx.tag(i as u32).unit_topic,
+                    &ctx.tag(j as u32).unit_topic,
+                );
+                cnt += 1;
+            }
+        }
+        let avg_all = all / cnt as f32;
+        assert!(
+            avg_paired > avg_all,
+            "dendrogram siblings ({avg_paired}) should beat random pairs ({avg_all})"
+        );
+    }
+
+    #[test]
+    fn single_tag_group() {
+        let bench = TagCloudConfig::small().generate();
+        let first = bench.lake.tag_ids().next().unwrap();
+        let ctx = OrgContext::for_tag_group(&bench.lake, &[first]);
+        let org = clustering_org(&ctx);
+        org.validate(&ctx).expect("valid");
+        assert_eq!(org.n_alive(), 2);
+        let flat = flat_org(&ctx);
+        flat.validate(&ctx).expect("valid");
+    }
+
+    #[test]
+    fn bisecting_is_valid_and_balanced() {
+        let ctx = ctx();
+        let org = bisecting_org(&ctx, 7);
+        org.validate(&ctx).expect("valid");
+        let levels = org.levels();
+        let max = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap();
+        let n = ctx.n_tags() as f64;
+        assert!(
+            (max as f64) <= 3.0 * n.log2().ceil(),
+            "bisecting depth {max} should be near log2({n})"
+        );
+    }
+
+    #[test]
+    fn bisecting_handles_tiny_groups() {
+        let bench = TagCloudConfig::small().generate();
+        for k in 1..4usize {
+            let tags: Vec<_> = bench.lake.tag_ids().take(k).collect();
+            let ctx = OrgContext::for_tag_group(&bench.lake, &tags);
+            let org = bisecting_org(&ctx, 3);
+            org.validate(&ctx).expect("valid");
+        }
+    }
+
+    #[test]
+    fn random_org_is_valid_but_uninformed() {
+        let ctx = ctx();
+        let org = random_org(&ctx, 3);
+        org.validate(&ctx).expect("valid");
+        assert_eq!(org.n_alive(), 2 * ctx.n_tags() - 1);
+        // Deterministic in its seed, different across seeds.
+        let a = random_org(&ctx, 5);
+        let b = random_org(&ctx, 5);
+        let c = random_org(&ctx, 6);
+        let fp = |o: &Organization| -> Vec<Vec<u32>> {
+            o.alive_ids()
+                .map(|s| o.state(s).children.iter().map(|c| c.0).collect())
+                .collect()
+        };
+        assert_eq!(fp(&a), fp(&b));
+        assert_ne!(fp(&a), fp(&c));
+    }
+
+    #[test]
+    fn two_tag_group() {
+        let bench = TagCloudConfig::small().generate();
+        let tags: Vec<_> = bench.lake.tag_ids().take(2).collect();
+        let ctx = OrgContext::for_tag_group(&bench.lake, &tags);
+        let org = clustering_org(&ctx);
+        org.validate(&ctx).expect("valid");
+        // root + 2 tag states; the single merge is the root itself.
+        assert_eq!(org.n_alive(), 3);
+        assert_eq!(org.state(org.root()).children.len(), 2);
+    }
+}

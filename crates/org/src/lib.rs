@@ -1,0 +1,72 @@
+//! Data lake organizations — the core contribution of
+//! *"Organizing Data Lakes for Navigation"* (SIGMOD 2020).
+//!
+//! An **organization** (§2.1) is a DAG whose nodes ("states") are sets of
+//! attributes from a data lake, with edges pointing from supersets to
+//! subsets (the *inclusion property*). Users discover tables by walking the
+//! DAG from the root; the walk is modelled as a Markov process whose
+//! transition probabilities follow the similarity between a state's topic
+//! vector and the user's (latent) query topic (§2.3, Equation 1).
+//!
+//! In data lakes with tag metadata, the state space is built over *tags*
+//! (§3.2): the graph's leaves are single-tag states, every interior state
+//! is a set of tags, and the attributes of a state are the union of its
+//! tags' attribute populations. An attribute is discovered by reaching one
+//! of its tag states and then selecting it among the tag's attributes
+//! (§4.3.4).
+//!
+//! Module map:
+//!
+//! * [`bitset`] — fixed-capacity bitsets for tag / attribute sets.
+//! * [`ctx`] — [`OrgContext`]: the per-organization universe (a tag group
+//!   and its attributes / tables), with local dense ids.
+//! * [`graph`] — the [`Organization`] DAG: states, edges, levels,
+//!   structural validation.
+//! * [`init`] — initial organizations: the flat (tag-portal) baseline and
+//!   the agglomerative-clustering initialization (§3.3).
+//! * [`ops`] — the two local-search operations `ADD_PARENT` /
+//!   `DELETE_PARENT` with undo logs (§3.3).
+//! * [`eval`] — the navigation model: reach probabilities (Eq 2–4),
+//!   discovery probabilities (Def. 1–2), organization effectiveness (Eq 6),
+//!   with incremental affected-subgraph re-evaluation (§3.4).
+//! * [`approx`] — attribute representatives for approximate evaluation
+//!   (§3.4).
+//! * [`search`] — the Metropolis local-search loop (§3.3, Eq 9).
+//! * [`multidim`] — k-dimensional organizations (§2.5, Eq 8) with parallel
+//!   per-dimension optimization.
+//! * [`success`] — the success-probability evaluation measure (§4.2).
+//! * [`navigate`] — interactive navigation over a built organization
+//!   (state labelling and query-conditioned transitions, §4.4 prototype).
+//! * [`builder`] — [`OrganizerBuilder`], the high-level API.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod bitset;
+pub mod builder;
+pub mod ctx;
+pub mod eval;
+pub mod export;
+pub mod feedback;
+pub mod graph;
+pub mod init;
+pub mod multidim;
+pub mod navigate;
+pub mod ops;
+pub mod search;
+pub mod success;
+
+pub use approx::Representatives;
+pub use bitset::BitSet;
+pub use builder::{BuiltOrganization, OrganizerBuilder};
+pub use ctx::{LocalAttr, LocalTag, OrgContext};
+pub use eval::{Evaluator, NavConfig};
+pub use export::{load_json, save_json, to_dot};
+pub use feedback::NavigationLog;
+pub use graph::{Organization, StateId};
+pub use init::{bisecting_org, clustering_org, flat_org, random_org};
+pub use multidim::{MultiDimConfig, MultiDimOrganization};
+pub use navigate::Navigator;
+pub use ops::{OpKind, OpOutcome};
+pub use search::{IterStats, SearchConfig, SearchStats};
+pub use success::{success_curve, SuccessCurve};

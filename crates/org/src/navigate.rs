@@ -1,0 +1,318 @@
+//! Interactive navigation over a built organization.
+//!
+//! This is the programmatic equivalent of the paper's user-study prototype
+//! (§4.4): "At each state, the user can navigate to a desired child node or
+//! backtrack to the parent of the current node." Nodes are labelled with
+//! representative tags; tag states expose the tables and attributes behind
+//! them. The simulated study participants in `dln-study` drive exactly
+//! this interface, and the `navigation_repl` example exposes it on stdin.
+
+use dln_embed::dot;
+use dln_lake::TableId;
+
+use crate::ctx::OrgContext;
+use crate::eval::NavConfig;
+use crate::graph::{Organization, StateId};
+
+/// A cursor over an organization, remembering the path from the root.
+pub struct Navigator<'a> {
+    ctx: &'a OrgContext,
+    org: &'a Organization,
+    nav: NavConfig,
+    path: Vec<StateId>,
+}
+
+impl<'a> Navigator<'a> {
+    /// A navigator positioned at the root.
+    pub fn new(ctx: &'a OrgContext, org: &'a Organization, nav: NavConfig) -> Navigator<'a> {
+        Navigator {
+            ctx,
+            org,
+            nav,
+            path: vec![org.root()],
+        }
+    }
+
+    /// The current state.
+    pub fn current(&self) -> StateId {
+        *self.path.last().expect("path never empty")
+    }
+
+    /// The path from the root to the current state.
+    pub fn path(&self) -> &[StateId] {
+        &self.path
+    }
+
+    /// Depth of the current state (root = 0).
+    pub fn depth(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// Children of the current state.
+    pub fn children(&self) -> &[StateId] {
+        &self.org.state(self.current()).children
+    }
+
+    /// Display label of a state (§4.4 labelling scheme).
+    pub fn label(&self, sid: StateId) -> String {
+        self.org.label(self.ctx, sid, 2)
+    }
+
+    /// If the current state is a tag state, its local tag.
+    pub fn at_tag_state(&self) -> Option<u32> {
+        self.org.state(self.current()).tag
+    }
+
+    /// Transition probabilities from the current state for a query topic
+    /// (unit vector), per Eq 1 — what a user "having the topic in mind"
+    /// would gravitate toward.
+    pub fn transition_probs(&self, query_unit: &[f32]) -> Vec<(StateId, f64)> {
+        let children = self.children();
+        if children.is_empty() {
+            return Vec::new();
+        }
+        let scale = self.nav.gamma as f64 / children.len() as f64;
+        let mut scores: Vec<(StateId, f64)> = children
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    scale * dot(&self.org.state(c).unit_topic, query_unit) as f64,
+                )
+            })
+            .collect();
+        let max = scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for (_, s) in scores.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        if sum > 0.0 {
+            for (_, s) in scores.iter_mut() {
+                *s /= sum;
+            }
+        }
+        scores
+    }
+
+    /// Transition probabilities blended with observed navigation behaviour
+    /// (§2.4's incremental model estimation): the Eq 1 distribution is the
+    /// Dirichlet prior, click-through counts from `log` are the evidence.
+    /// `prior_strength` is the prior's pseudo-count weight.
+    pub fn transition_probs_with_log(
+        &self,
+        query_unit: &[f32],
+        log: &crate::feedback::NavigationLog,
+        prior_strength: f64,
+    ) -> Vec<(StateId, f64)> {
+        let model = self.transition_probs(query_unit);
+        if model.is_empty() {
+            return model;
+        }
+        let prior: Vec<f64> = model.iter().map(|(_, p)| *p).collect();
+        let blended = log.blended_transitions(self.org, self.current(), &prior, prior_strength);
+        model
+            .into_iter()
+            .zip(blended)
+            .map(|((sid, _), p)| (sid, p))
+            .collect()
+    }
+
+    /// Descend into `child`. Errors when `child` is not a child of the
+    /// current state.
+    pub fn descend(&mut self, child: StateId) -> Result<(), String> {
+        if !self.children().contains(&child) {
+            return Err(format!(
+                "state {} is not a child of the current state",
+                child.0
+            ));
+        }
+        self.path.push(child);
+        Ok(())
+    }
+
+    /// Backtrack one step; returns false at the root.
+    pub fn backtrack(&mut self) -> bool {
+        if self.path.len() > 1 {
+            self.path.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Jump back to the root.
+    pub fn reset(&mut self) {
+        self.path.truncate(1);
+    }
+
+    /// The lake tables represented under the current state (tables with at
+    /// least one attribute in the state's attribute set), most-covered
+    /// first.
+    pub fn tables_here(&self) -> Vec<(TableId, usize)> {
+        let state = self.org.state(self.current());
+        let mut counts: Vec<(TableId, usize)> = Vec::new();
+        for (ti, table) in self.ctx.tables().iter().enumerate() {
+            let n = table
+                .attrs
+                .iter()
+                .filter(|&&a| state.attrs.contains(a))
+                .count();
+            if n > 0 {
+                counts.push((self.ctx.tables()[ti].global, n));
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts
+    }
+
+    /// Number of attributes under the current state.
+    pub fn n_attrs_here(&self) -> usize {
+        self.org.state(self.current()).attrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::clustering_org;
+    use dln_synth::TagCloudConfig;
+
+    fn setup() -> (OrgContext, Organization) {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        (ctx, org)
+    }
+
+    #[test]
+    fn starts_at_root_and_descends() {
+        let (ctx, org) = setup();
+        let mut nav = Navigator::new(&ctx, &org, NavConfig::default());
+        assert_eq!(nav.current(), org.root());
+        assert_eq!(nav.depth(), 0);
+        let child = nav.children()[0];
+        nav.descend(child).unwrap();
+        assert_eq!(nav.current(), child);
+        assert_eq!(nav.depth(), 1);
+        assert!(nav.backtrack());
+        assert_eq!(nav.current(), org.root());
+        assert!(!nav.backtrack(), "cannot backtrack past the root");
+    }
+
+    #[test]
+    fn descend_rejects_non_children() {
+        let (ctx, org) = setup();
+        let mut nav = Navigator::new(&ctx, &org, NavConfig::default());
+        let ts = org.tag_state(0);
+        if !nav.children().contains(&ts) {
+            assert!(nav.descend(ts).is_err());
+        }
+    }
+
+    #[test]
+    fn transition_probs_form_distribution_and_favor_similar() {
+        let (ctx, org) = setup();
+        let nav = Navigator::new(&ctx, &org, NavConfig::default());
+        // Query = topic of attribute 0.
+        let query = ctx.attr(0).unit_topic.clone();
+        let probs = nav.transition_probs(&query);
+        let sum: f64 = probs.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The child containing the query attribute should be preferred.
+        let holder = probs
+            .iter()
+            .find(|(c, _)| org.state(*c).attrs.contains(0))
+            .expect("some child holds attr 0");
+        let other = probs
+            .iter()
+            .find(|(c, _)| !org.state(*c).attrs.contains(0));
+        if let Some(other) = other {
+            assert!(
+                holder.1 > other.1,
+                "the holding child ({}) must beat the other ({})",
+                holder.1,
+                other.1
+            );
+        }
+    }
+
+    #[test]
+    fn walk_to_tag_state_and_list_tables() {
+        let (ctx, org) = setup();
+        let mut nav = Navigator::new(&ctx, &org, NavConfig::default());
+        // Greedy walk toward attribute 0's topic.
+        let query = ctx.attr(0).unit_topic.clone();
+        for _ in 0..64 {
+            let probs = nav.transition_probs(&query);
+            let Some((best, _)) = probs
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .copied()
+            else {
+                break;
+            };
+            nav.descend(best).unwrap();
+        }
+        assert!(nav.at_tag_state().is_some(), "greedy walk reaches a sink");
+        let tables = nav.tables_here();
+        assert!(!tables.is_empty());
+        // The owning table of attribute 0 should be among them iff the walk
+        // found its tag; regardless, table list is sane.
+        for (_, n) in &tables {
+            assert!(*n >= 1);
+        }
+        assert!(nav.n_attrs_here() >= 1);
+    }
+
+    #[test]
+    fn reset_returns_to_root() {
+        let (ctx, org) = setup();
+        let mut nav = Navigator::new(&ctx, &org, NavConfig::default());
+        let child = nav.children()[0];
+        nav.descend(child).unwrap();
+        nav.reset();
+        assert_eq!(nav.current(), org.root());
+        assert_eq!(nav.path().len(), 1);
+    }
+
+    #[test]
+    fn log_blending_shifts_transitions_toward_clicks() {
+        let (ctx, org) = setup();
+        let nav = Navigator::new(&ctx, &org, NavConfig::default());
+        let query = ctx.attr(0).unit_topic.clone();
+        let base = nav.transition_probs(&query);
+        // Log heavy traffic into the model's LEAST preferred child.
+        let (worst, _) = base
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .copied()
+            .unwrap();
+        let mut log = crate::feedback::NavigationLog::new();
+        for _ in 0..200 {
+            log.record_walk(&[org.root(), worst]);
+        }
+        let blended = nav.transition_probs_with_log(&query, &log, 5.0);
+        let sum: f64 = blended.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let b_worst = blended.iter().find(|(s, _)| *s == worst).unwrap().1;
+        let m_worst = base.iter().find(|(s, _)| *s == worst).unwrap().1;
+        assert!(
+            b_worst > m_worst,
+            "click evidence must lift the clicked child: {b_worst} vs {m_worst}"
+        );
+        assert!(b_worst > 0.9, "200 clicks vs strength 5 dominates");
+    }
+
+    #[test]
+    fn labels_are_nonempty() {
+        let (ctx, org) = setup();
+        let nav = Navigator::new(&ctx, &org, NavConfig::default());
+        for &c in nav.children() {
+            assert!(!nav.label(c).is_empty());
+        }
+    }
+}

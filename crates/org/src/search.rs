@@ -1,0 +1,450 @@
+//! The local-search construction algorithm (§3.3).
+//!
+//! Starting from an initial organization (usually the agglomerative
+//! clustering of [`crate::init::clustering_org`]), the algorithm performs
+//! downward sweeps from the root. Within each level, states are visited in
+//! ascending reachability (Eq 10) — the least discoverable states get
+//! attention first — and for each a modification (`ADD_PARENT` or
+//! `DELETE_PARENT`) is proposed. A proposal that increases organization
+//! effectiveness is accepted; otherwise it is accepted with probability
+//! `P(T|O') / P(T|O)` (Eq 9, a Metropolis acceptance rule following the
+//! Bayesian structure-search tradition the paper cites). The search
+//! terminates "once the effectiveness of an organization reaches a
+//! plateau" — no significant improvement over the last
+//! [`SearchConfig::plateau_iters`] proposals (the paper uses 50).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::approx::Representatives;
+use crate::ctx::OrgContext;
+use crate::eval::{Evaluator, NavConfig};
+use crate::graph::{Organization, StateId};
+use crate::ops::{self, OpKind};
+
+/// Local-search hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Navigation-model parameters (the γ of Eq 1).
+    pub nav: NavConfig,
+    /// Stop after this many consecutive proposals without significant
+    /// improvement of the best effectiveness (paper: 50).
+    pub plateau_iters: usize,
+    /// Minimum absolute effectiveness gain counted as "significant".
+    pub min_improvement: f64,
+    /// Hard cap on proposals, as a safety net.
+    pub max_iters: usize,
+    /// Representative-set size as a fraction of the attributes (§3.4).
+    /// `1.0` = exact evaluation; the paper's approximate runs use `0.1`.
+    pub rep_fraction: f64,
+    /// Acceptance sharpening β: a degrading proposal is accepted with
+    /// probability `(P(T|O') / P(T|O))^β`. β = 1 is the paper's literal
+    /// Eq 9; because near-optimal organizations differ by tiny *relative*
+    /// amounts (ratios ≈ 0.999), β = 1 accepts almost every degradation
+    /// and the walk becomes undirected. The default β keeps the Metropolis
+    /// character (occasional uphill escapes) while giving the walk a real
+    /// drift toward better organizations.
+    pub acceptance_power: f64,
+    /// RNG seed for proposal choice and Metropolis acceptance.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            nav: NavConfig::default(),
+            plateau_iters: 50,
+            min_improvement: 1e-6,
+            max_iters: 5_000,
+            rep_fraction: 1.0,
+            acceptance_power: 400.0,
+            seed: 0x0DD5_EA4C,
+        }
+    }
+}
+
+/// Per-proposal record (feeds the Figure 3 pruning analysis).
+#[derive(Clone, Copy, Debug)]
+pub struct IterStats {
+    /// Which operation was proposed (`None` when no operation was
+    /// applicable at the chosen state).
+    pub op: Option<OpKind>,
+    /// Whether the proposal was accepted.
+    pub accepted: bool,
+    /// Effectiveness after the proposal was resolved.
+    pub effectiveness: f64,
+    /// States whose reach probabilities were re-evaluated.
+    pub states_visited: usize,
+    /// Alive states at proposal time.
+    pub states_alive: usize,
+    /// Representative discovery probabilities re-evaluated.
+    pub queries_evaluated: usize,
+    /// Attributes covered by those representatives.
+    pub attrs_covered: usize,
+}
+
+/// Summary of one optimization run.
+#[derive(Clone, Debug)]
+pub struct SearchStats {
+    /// Effectiveness of the initial organization.
+    pub initial_effectiveness: f64,
+    /// Effectiveness of the final organization.
+    pub final_effectiveness: f64,
+    /// Total proposals made.
+    pub iterations: usize,
+    /// Accepted proposals.
+    pub accepted: usize,
+    /// Wall-clock duration of the search.
+    pub duration: std::time::Duration,
+    /// Number of evaluation queries (representatives).
+    pub n_queries: usize,
+    /// Per-proposal records.
+    pub iter_stats: Vec<IterStats>,
+}
+
+impl SearchStats {
+    /// Mean fraction of states re-evaluated per proposal (Figure 3b).
+    pub fn mean_state_fraction(&self) -> f64 {
+        mean(
+            self.iter_stats
+                .iter()
+                .filter(|s| s.op.is_some())
+                .map(|s| s.states_visited as f64 / s.states_alive.max(1) as f64),
+        )
+    }
+
+    /// Mean fraction of attributes whose discovery probability was
+    /// re-evaluated per proposal, counting each representative as covering
+    /// its partition (Figure 3a, exact mode).
+    pub fn mean_attr_fraction(&self, n_attrs: usize) -> f64 {
+        mean(
+            self.iter_stats
+                .iter()
+                .filter(|s| s.op.is_some())
+                .map(|s| s.attrs_covered as f64 / n_attrs.max(1) as f64),
+        )
+    }
+
+    /// Mean fraction of *evaluations performed* relative to the attribute
+    /// count (Figure 3a, approximate mode — the paper's ≈6%).
+    pub fn mean_eval_fraction(&self, n_attrs: usize) -> f64 {
+        mean(
+            self.iter_stats
+                .iter()
+                .filter(|s| s.op.is_some())
+                .map(|s| s.queries_evaluated as f64 / n_attrs.max(1) as f64),
+        )
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Optimize `org` in place. Returns the run statistics.
+pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) -> SearchStats {
+    let start = std::time::Instant::now();
+    let reps = if cfg.rep_fraction >= 1.0 {
+        Representatives::exact(ctx)
+    } else {
+        Representatives::kmedoids(ctx, cfg.rep_fraction, cfg.seed ^ 0x4e9d)
+    };
+    let mut ev = Evaluator::new(ctx, org, cfg.nav, &reps);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let initial = ev.effectiveness();
+    let mut eff = initial;
+    let mut best = initial;
+    // The Metropolis walk (Eq 9) may wander through worse organizations; we
+    // keep the best organization seen and return it ("finding an
+    // organization that maximizes ...", Definition 3).
+    let mut best_org: Organization = org.clone();
+    let mut plateau = 0usize;
+    let mut iterations = 0usize;
+    let mut accepted = 0usize;
+    let mut iter_stats: Vec<IterStats> = Vec::new();
+
+    'outer: loop {
+        // One downward sweep: levels recomputed at sweep start, states in
+        // each level ordered by ascending reachability.
+        let levels = org.levels();
+        let reach_sweep = ev.reachability();
+        let max_level = levels
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        let mut proposed_this_sweep = false;
+        for level in 1..=max_level {
+            let mut at_level: Vec<StateId> = org
+                .alive_ids()
+                .filter(|s| levels.get(s.index()).copied() == Some(level))
+                .collect();
+            at_level.sort_by(|a, b| {
+                reach_sweep[a.index()]
+                    .partial_cmp(&reach_sweep[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for s in at_level {
+                if iterations >= cfg.max_iters {
+                    break 'outer;
+                }
+                if !org.state(s).alive {
+                    continue; // eliminated earlier in this sweep
+                }
+                iterations += 1;
+                let states_alive = org.n_alive();
+                // Current reachability guides the operation's choices.
+                let reach_now = ev.reachability();
+                let first_add: bool = rng.random();
+                let outcome = if first_add {
+                    ops::try_add_parent(org, ctx, s, &reach_now)
+                        .or_else(|| ops::try_delete_parent(org, ctx, s, &reach_now))
+                } else {
+                    ops::try_delete_parent(org, ctx, s, &reach_now)
+                        .or_else(|| ops::try_add_parent(org, ctx, s, &reach_now))
+                };
+                let Some(outcome) = outcome else {
+                    plateau += 1;
+                    iter_stats.push(IterStats {
+                        op: None,
+                        accepted: false,
+                        effectiveness: eff,
+                        states_visited: 0,
+                        states_alive,
+                        queries_evaluated: 0,
+                        attrs_covered: 0,
+                    });
+                    if plateau >= cfg.plateau_iters {
+                        break 'outer;
+                    }
+                    continue;
+                };
+                proposed_this_sweep = true;
+                let kind = outcome.kind;
+                let (undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
+                let new_eff = ev.effectiveness();
+                // Metropolis acceptance (Eq 9).
+                let accept = if new_eff >= eff || eff <= 0.0 {
+                    true
+                } else {
+                    let ratio = (new_eff / eff).powf(cfg.acceptance_power);
+                    rng.random::<f64>() < ratio
+                };
+                if accept {
+                    accepted += 1;
+                    eff = new_eff;
+                } else {
+                    ev.rollback(undo_ev);
+                    ops::undo(org, ctx, outcome);
+                }
+                if eff > best + cfg.min_improvement {
+                    best = eff;
+                    best_org = org.clone();
+                    plateau = 0;
+                } else {
+                    if eff > best {
+                        best = eff;
+                        best_org = org.clone();
+                    }
+                    plateau += 1;
+                }
+                iter_stats.push(IterStats {
+                    op: Some(kind),
+                    accepted: accept,
+                    effectiveness: eff,
+                    states_visited: delta.states_visited,
+                    states_alive,
+                    queries_evaluated: delta.queries_evaluated,
+                    attrs_covered: delta.attrs_covered,
+                });
+                if plateau >= cfg.plateau_iters {
+                    break 'outer;
+                }
+            }
+        }
+        if !proposed_this_sweep {
+            break; // nothing applicable anywhere — e.g. a flat organization
+        }
+    }
+    if best > eff {
+        *org = best_org;
+        eff = best;
+    }
+    SearchStats {
+        initial_effectiveness: initial,
+        final_effectiveness: eff,
+        iterations,
+        accepted,
+        duration: start.elapsed(),
+        n_queries: ev.n_queries(),
+        iter_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{clustering_org, flat_org};
+    use dln_synth::TagCloudConfig;
+
+    fn ctx() -> OrgContext {
+        let bench = TagCloudConfig::small().generate();
+        OrgContext::full(&bench.lake)
+    }
+
+    #[test]
+    fn optimization_improves_clustering_org() {
+        let ctx = ctx();
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            max_iters: 300,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        org.validate(&ctx).expect("valid after optimization");
+        // The informed dendrogram can already be locally optimal (see
+        // EXPERIMENTS.md); the search must never END below it.
+        assert!(
+            stats.final_effectiveness >= stats.initial_effectiveness,
+            "search must not lose effectiveness: {} -> {}",
+            stats.initial_effectiveness,
+            stats.final_effectiveness
+        );
+        assert!(stats.iterations > 0);
+        assert_eq!(stats.iterations, stats.iter_stats.len());
+    }
+
+    #[test]
+    fn optimization_recovers_from_random_initialization() {
+        // Where the local search demonstrably earns its keep: repairing an
+        // uninformed initial organization.
+        let ctx = ctx();
+        let mut org = crate::init::random_org(&ctx, 77);
+        let cfg = SearchConfig {
+            max_iters: 800,
+            plateau_iters: 150,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        org.validate(&ctx).expect("valid after optimization");
+        assert!(
+            stats.final_effectiveness > stats.initial_effectiveness,
+            "search must repair a random hierarchy: {} -> {}",
+            stats.initial_effectiveness,
+            stats.final_effectiveness
+        );
+    }
+
+    #[test]
+    fn final_effectiveness_matches_fresh_evaluation() {
+        let ctx = ctx();
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            max_iters: 150,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        let reps = Representatives::exact(&ctx);
+        let fresh = Evaluator::new(&ctx, &org, cfg.nav, &reps);
+        assert!(
+            (stats.final_effectiveness - fresh.effectiveness()).abs() < 1e-9,
+            "incremental bookkeeping drifted: {} vs {}",
+            stats.final_effectiveness,
+            fresh.effectiveness()
+        );
+    }
+
+    #[test]
+    fn flat_org_terminates_without_proposals() {
+        // In a flat org neither op applies anywhere; the search must exit.
+        let ctx = ctx();
+        let mut org = flat_org(&ctx);
+        let cfg = SearchConfig {
+            plateau_iters: 10_000, // force the no-proposal exit path
+            max_iters: 10_000,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        assert_eq!(stats.accepted, 0);
+        assert!(stats.iter_stats.iter().all(|s| s.op.is_none()));
+    }
+
+    #[test]
+    fn plateau_terminates_search() {
+        let ctx = ctx();
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            plateau_iters: 5,
+            min_improvement: 10.0, // nothing is ever significant
+            max_iters: 10_000,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        assert!(
+            stats.iterations <= 6,
+            "plateau of 5 must stop quickly, ran {}",
+            stats.iterations
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ctx = ctx();
+        let run = |seed: u64| {
+            let mut org = clustering_org(&ctx);
+            let cfg = SearchConfig {
+                max_iters: 100,
+                seed,
+                ..Default::default()
+            };
+            optimize(&ctx, &mut org, &cfg).final_effectiveness
+        };
+        assert_eq!(run(3).to_bits(), run(3).to_bits());
+    }
+
+    #[test]
+    fn approximate_search_runs_and_improves() {
+        let ctx = ctx();
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            rep_fraction: 0.1,
+            max_iters: 200,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        org.validate(&ctx).expect("valid");
+        assert!(stats.n_queries < ctx.n_attrs() / 5);
+        // Approximation evaluates far fewer discovery probabilities.
+        let eval_frac = stats.mean_eval_fraction(ctx.n_attrs());
+        assert!(
+            eval_frac < 0.2,
+            "approx mode should evaluate few queries per iter ({eval_frac})"
+        );
+    }
+
+    #[test]
+    fn pruning_fractions_are_below_one() {
+        let ctx = ctx();
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            max_iters: 150,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        let sf = stats.mean_state_fraction();
+        assert!(sf > 0.0 && sf < 1.0, "state fraction {sf}");
+        let af = stats.mean_attr_fraction(ctx.n_attrs());
+        assert!(af > 0.0 && af <= 1.0, "attr fraction {af}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Embedding-based query expansion.
+//!
+//! The paper's engine uses GloVe vectors "to evaluate the similarity of
+//! words and identify similar terms" (§4.4). Here, at index-build time the
+//! embeddable indexed terms are collected with their vectors; at query time
+//! each embeddable query term is expanded with its nearest indexed terms
+//! above a similarity floor, weighted by that similarity.
+
+use dln_embed::{dot, normalized, EmbeddingModel};
+
+/// Expansion parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionConfig {
+    /// Maximum expansion terms added per query term.
+    pub k: usize,
+    /// Minimum cosine similarity for an expansion term.
+    pub min_sim: f32,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        ExpansionConfig { k: 5, min_sim: 0.6 }
+    }
+}
+
+/// Precomputed expansion table: the embeddable indexed vocabulary.
+pub struct Expansions {
+    cfg: ExpansionConfig,
+    terms: Vec<String>,
+    /// Flattened unit vectors, parallel to `terms`.
+    vectors: Vec<f32>,
+    dim: usize,
+    index: std::collections::HashMap<String, u32>,
+}
+
+impl Expansions {
+    /// Collect the embeddable subset of `indexed_terms` with unit vectors.
+    pub fn precompute<M: EmbeddingModel>(
+        indexed_terms: &[&str],
+        model: &M,
+        cfg: ExpansionConfig,
+    ) -> Expansions {
+        let dim = model.dim();
+        let mut terms = Vec::new();
+        let mut vectors = Vec::new();
+        let mut index = std::collections::HashMap::new();
+        for &t in indexed_terms {
+            if let Some(v) = model.embed(t) {
+                index.insert(t.to_string(), terms.len() as u32);
+                terms.push(t.to_string());
+                vectors.extend(normalized(v));
+            }
+        }
+        Expansions {
+            cfg,
+            terms,
+            vectors,
+            dim,
+            index,
+        }
+    }
+
+    /// Number of embeddable indexed terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no indexed term has an embedding.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn vector(&self, i: usize) -> &[f32] {
+        &self.vectors[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Expansion terms for `query_term`: up to `k` indexed terms with
+    /// cosine ≥ `min_sim` (excluding the term itself), as
+    /// `(term, similarity)` sorted by descending similarity.
+    ///
+    /// A query term that is itself indexed expands from its own vector;
+    /// otherwise it expands only if some indexed term string-matches it —
+    /// out-of-vocabulary terms cannot be embedded here because the model is
+    /// not retained. The engine passes embeddable out-of-index query terms
+    /// through [`Expansions::expand_vector`].
+    pub fn expand(&self, query_term: &str) -> Vec<(&String, f32)> {
+        match self.index.get(query_term) {
+            Some(&i) => {
+                let own = self.vector(i as usize).to_vec();
+                self.expand_vector_excluding(&own, Some(query_term))
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Expansion terms for an arbitrary unit query vector.
+    pub fn expand_vector(&self, unit_query: &[f32]) -> Vec<(&String, f32)> {
+        self.expand_vector_excluding(unit_query, None)
+    }
+
+    fn expand_vector_excluding(
+        &self,
+        unit_query: &[f32],
+        exclude: Option<&str>,
+    ) -> Vec<(&String, f32)> {
+        assert_eq!(unit_query.len(), self.dim, "query vector dim mismatch");
+        let mut scored: Vec<(usize, f32)> = (0..self.terms.len())
+            .filter(|&i| exclude != Some(self.terms[i].as_str()))
+            .map(|i| (i, dot(self.vector(i), unit_query)))
+            .filter(|&(_, s)| s >= self.cfg.min_sim)
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.cfg.k);
+        scored
+            .into_iter()
+            .map(|(i, s)| (&self.terms[i], s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dln_embed::{SyntheticEmbedding, TokenId, VocabularyConfig};
+
+    fn model() -> SyntheticEmbedding {
+        SyntheticEmbedding::with_vocab_config(VocabularyConfig {
+            n_topics: 3,
+            words_per_topic: 8,
+            dim: 16,
+            sigma: 0.3,
+            seed: 31,
+            n_supertopics: 0,
+            supertopic_sigma: 0.7,
+        })
+    }
+
+    #[test]
+    fn expands_within_topic() {
+        let m = model();
+        let words: Vec<String> = m.vocab().iter().map(|(_, w)| w.to_string()).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let exp = Expansions::precompute(&refs, &m, ExpansionConfig { k: 4, min_sim: 0.5 });
+        assert_eq!(exp.len(), words.len());
+        let out = exp.expand(&words[0]);
+        assert!(!out.is_empty());
+        let t0 = m.vocab().topic_of(TokenId(0));
+        for (term, sim) in &out {
+            let id = m.vocab().id(term).unwrap();
+            assert_eq!(m.vocab().topic_of(id), t0, "expansion crossed topics");
+            assert!(*sim >= 0.5);
+        }
+        // Sorted descending.
+        for w in out.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn does_not_expand_to_self() {
+        let m = model();
+        let words: Vec<String> = m.vocab().iter().map(|(_, w)| w.to_string()).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let exp = Expansions::precompute(&refs, &m, ExpansionConfig::default());
+        let out = exp.expand(&words[3]);
+        assert!(out.iter().all(|(t, _)| *t != &words[3]));
+    }
+
+    #[test]
+    fn unknown_term_expands_to_nothing() {
+        let m = model();
+        let words: Vec<String> = m.vocab().iter().map(|(_, w)| w.to_string()).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let exp = Expansions::precompute(&refs, &m, ExpansionConfig::default());
+        assert!(exp.expand("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn respects_k_and_threshold() {
+        let m = model();
+        let words: Vec<String> = m.vocab().iter().map(|(_, w)| w.to_string()).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let exp = Expansions::precompute(&refs, &m, ExpansionConfig { k: 2, min_sim: 0.0 });
+        assert_eq!(exp.expand(&words[0]).len(), 2);
+        let strict = Expansions::precompute(&refs, &m, ExpansionConfig { k: 10, min_sim: 0.9999 });
+        assert!(strict.expand(&words[0]).len() <= 10);
+    }
+
+    #[test]
+    fn non_embeddable_terms_are_skipped() {
+        let m = model();
+        let exp = Expansions::precompute(&["zzz", "qqq"], &m, ExpansionConfig::default());
+        assert!(exp.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Result-set metrics of the user study.
+
+use std::collections::BTreeSet;
+
+use dln_lake::TableId;
+
+/// Disjointness of two result sets (§4.4): `1 − |R∩T| / |R∪T|`.
+/// Two empty sets are fully disjoint by convention (nothing shared).
+pub fn disjointness(r: &BTreeSet<TableId>, t: &BTreeSet<TableId>) -> f64 {
+    let union = r.union(t).count();
+    if union == 0 {
+        return 1.0;
+    }
+    let inter = r.intersection(t).count();
+    1.0 - inter as f64 / union as f64
+}
+
+/// Pairwise disjointness over the result sets of participants who worked on
+/// the same scenario with the same technique — the sample the paper's
+/// Mann–Whitney test is run on.
+pub fn mean_pairwise_disjointness(sets: &[BTreeSet<TableId>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            out.push(disjointness(&sets[i], &sets[j]));
+        }
+    }
+    out
+}
+
+/// Fraction of tables found by *both* modalities relative to all tables
+/// found by either (the paper observes ≈5% intersection between navigation
+/// and keyword-search results).
+pub fn overlap_fraction(nav: &BTreeSet<TableId>, search: &BTreeSet<TableId>) -> f64 {
+    let union = nav.union(search).count();
+    if union == 0 {
+        return 0.0;
+    }
+    nav.intersection(search).count() as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<TableId> {
+        ids.iter().map(|&i| TableId(i)).collect()
+    }
+
+    #[test]
+    fn disjointness_extremes() {
+        assert_eq!(disjointness(&set(&[1, 2]), &set(&[3, 4])), 1.0);
+        assert_eq!(disjointness(&set(&[1, 2]), &set(&[1, 2])), 0.0);
+        assert_eq!(disjointness(&set(&[]), &set(&[])), 1.0);
+    }
+
+    #[test]
+    fn disjointness_partial() {
+        // R={1,2,3}, T={3,4}: inter=1, union=4 → 0.75.
+        assert!((disjointness(&set(&[1, 2, 3]), &set(&[3, 4])) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjointness_is_symmetric() {
+        let (a, b) = (set(&[1, 5, 9]), set(&[5, 7]));
+        assert_eq!(disjointness(&a, &b), disjointness(&b, &a));
+    }
+
+    #[test]
+    fn pairwise_count() {
+        let sets = vec![set(&[1]), set(&[2]), set(&[3]), set(&[1, 2])];
+        let d = mean_pairwise_disjointness(&sets);
+        assert_eq!(d.len(), 6); // C(4,2)
+    }
+
+    #[test]
+    fn overlap_fraction_values() {
+        assert_eq!(overlap_fraction(&set(&[]), &set(&[])), 0.0);
+        assert_eq!(overlap_fraction(&set(&[1]), &set(&[2])), 0.0);
+        assert!((overlap_fraction(&set(&[1, 2]), &set(&[2, 3])) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overlap_fraction(&set(&[1]), &set(&[1])), 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload generators for the navigation experiments.
+//!
+//! * [`zipf`] — a truncated Zipf sampler (the paper observes that tags per
+//!   table and attributes per table follow Zipfian distributions in real
+//!   lakes, and synthesizes TagCloud accordingly, §4.1).
+//! * [`tagcloud`] — the **TagCloud** benchmark: a lake where every attribute
+//!   has exactly one known-correct tag, attribute values are the `k` most
+//!   similar vocabulary words to the tag word, and table sizes are Zipfian.
+//!   Includes the *enrichment* procedure (adding each attribute's second
+//!   closest tag) used for the `enriched 2-dim` series of Figure 2(a).
+//! * [`socrata`] — a generator reproducing the published shape of the
+//!   paper's Socrata crawl (7,553 tables / 11,083 tags / ~51k embedded text
+//!   attributes / 264,199 attribute–tag associations; skewed multi-tag
+//!   metadata), at a configurable scale. Also carves tag-disjoint sub-lakes
+//!   in the style of Socrata-2 / Socrata-3 for the user study.
+
+#![warn(missing_docs)]
+
+pub mod socrata;
+pub mod tagcloud;
+pub mod zipf;
+
+pub use socrata::{SocrataConfig, SocrataLake};
+pub use tagcloud::{TagCloudBench, TagCloudConfig};
+pub use zipf::Zipf;

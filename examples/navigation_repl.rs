@@ -1,0 +1,110 @@
+//! An interactive navigation REPL over a generated lake — a terminal
+//! version of the paper's user-study prototype (§4.4): descend into child
+//! states, backtrack, list the tables on the current shelf, or type free
+//! text to bias the child ordering toward a topic.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example navigation_repl
+//! ```
+//!
+//! Commands:
+//! * `1`, `2`, … — descend into the numbered child
+//! * `b`         — backtrack one level
+//! * `t`         — list tables under the current state
+//! * `q`         — quit
+//! * anything else — treat as a topic query: children are re-ranked by the
+//!   Eq 1 transition probability for that text
+//!
+//! Reads EOF gracefully, so it can be driven by a pipe:
+//! `printf '1\nt\nq\n' | cargo run --example navigation_repl`
+
+use std::io::BufRead;
+
+use datalake_nav::embed::{tokenize, EmbeddingModel, TopicAccumulator};
+use datalake_nav::prelude::*;
+
+fn main() {
+    let socrata = SocrataConfig::small().generate();
+    let lake = &socrata.lake;
+    println!("{}\n", lake.stats());
+    let built = OrganizerBuilder::new(lake).max_iters(300).build_optimized();
+    let mut nav = built.navigator();
+    // Current topic bias (unit vector), if the user typed a query.
+    let mut topic: Option<Vec<f32>> = None;
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        // Show the current state and its children (topic-ranked if set).
+        println!(
+            "\n== {} (depth {}, {} attrs) ==",
+            nav.label(nav.current()),
+            nav.depth(),
+            nav.n_attrs_here()
+        );
+        let children: Vec<_> = if let Some(t) = &topic {
+            let mut probs = nav.transition_probs(t);
+            probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            probs
+        } else {
+            nav.children().iter().map(|&c| (c, 0.0)).collect()
+        };
+        if children.is_empty() {
+            println!("(leaf state — type `t` to list its tables, `b` to go back)");
+        }
+        for (i, (c, p)) in children.iter().enumerate().take(12) {
+            if topic.is_some() {
+                println!("  [{}] {} (p = {:.2})", i + 1, nav.label(*c), p);
+            } else {
+                println!("  [{}] {}", i + 1, nav.label(*c));
+            }
+        }
+        if children.len() > 12 {
+            println!("  ... and {} more", children.len() - 12);
+        }
+        print!("> ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else {
+            println!("(eof)");
+            break;
+        };
+        let cmd = line.trim();
+        match cmd {
+            "q" | "quit" | "exit" => break,
+            "b" | "back" => {
+                if !nav.backtrack() {
+                    println!("(already at the root)");
+                }
+            }
+            "t" | "tables" => {
+                for (tid, n) in nav.tables_here().into_iter().take(15) {
+                    println!("  {} ({} matching attrs)", lake.table(tid).name, n);
+                }
+            }
+            "" => {}
+            n if n.parse::<usize>().is_ok() => {
+                let idx = n.parse::<usize>().expect("checked") - 1;
+                match children.get(idx) {
+                    Some((c, _)) => nav.descend(*c).expect("listed child"),
+                    None => println!("(no child #{})", idx + 1),
+                }
+            }
+            query => {
+                let mut acc = TopicAccumulator::new(socrata.model.dim());
+                for tok in tokenize(query) {
+                    if let Some(v) = socrata.model.embed(&tok) {
+                        acc.add(v);
+                    }
+                }
+                if acc.is_empty() {
+                    println!("(no embeddable words in {query:?}; try table values)");
+                } else {
+                    println!("(re-ranking children for topic {query:?})");
+                    topic = Some(acc.unit_mean());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! End-to-end integration tests spanning the whole workspace: generators →
+//! lake → organizations → evaluation → search → study. These encode the
+//! qualitative claims of the paper's evaluation as executable assertions.
+
+use datalake_nav::org::MultiDimConfig;
+use datalake_nav::prelude::*;
+use datalake_nav::study::{default_scenario, AgentConfig, NavigationAgent, SearchAgent};
+
+fn tagcloud() -> datalake_nav::synth::TagCloudBench {
+    TagCloudConfig::small().generate()
+}
+
+#[test]
+fn organizations_order_as_in_figure_2a() {
+    // baseline << clustering <= optimized (the paper's central ordering).
+    let bench = tagcloud();
+    let builder = OrganizerBuilder::new(&bench.lake).seed(3).max_iters(250);
+    let flat = builder.build_flat().effectiveness();
+    let clustering = builder.build_clustering().effectiveness();
+    let optimized = builder.build_optimized().effectiveness();
+    assert!(
+        clustering > 3.0 * flat,
+        "clustering ({clustering}) must dominate the flat baseline ({flat})"
+    );
+    assert!(
+        optimized >= clustering,
+        "local search must never end below its initialization ({optimized} vs {clustering})"
+    );
+}
+
+#[test]
+fn success_curves_order_like_effectiveness() {
+    let bench = tagcloud();
+    let builder = OrganizerBuilder::new(&bench.lake).seed(3);
+    let flat = builder.build_flat().success_curve(&bench.lake, 0.9);
+    let clus = builder.build_clustering().success_curve(&bench.lake, 0.9);
+    assert!(clus.mean > flat.mean * 2.0);
+    // Curves are monotone by construction and within [0,1].
+    for curve in [&flat, &clus] {
+        for w in curve.per_table.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(curve.per_table.iter().all(|(_, v)| (0.0..=1.0).contains(v)));
+    }
+}
+
+#[test]
+fn multidim_composition_dominates_single_dimensions() {
+    let bench = tagcloud();
+    let md = MultiDimOrganization::build(
+        &bench.lake,
+        &MultiDimConfig {
+            n_dims: 2,
+            search: SearchConfig {
+                max_iters: 120,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let composed = md.attr_discovery_global(&bench.lake);
+    for dim in &md.dims {
+        let single = dim.attr_discovery_global(&bench.lake);
+        for (c, s) in composed.iter().zip(single.iter()) {
+            assert!(*c >= *s - 1e-12, "Eq 8 composition must dominate each dimension ({c} vs {s})");
+        }
+    }
+    // Each TagCloud attribute has exactly one tag, hence exactly one
+    // dimension can discover it: composed == the only non-zero single.
+    let eff = md.effectiveness(&bench.lake);
+    assert!(eff > 0.0 && eff <= 1.0);
+}
+
+#[test]
+fn representative_approximation_matches_exact_shape() {
+    // Figure 2(a) "2-dim approx": negligible deviation from exact.
+    let bench = tagcloud();
+    let exact = OrganizerBuilder::new(&bench.lake)
+        .seed(11)
+        .max_iters(150)
+        .build_optimized();
+    let approx = OrganizerBuilder::new(&bench.lake)
+        .seed(11)
+        .max_iters(150)
+        .rep_fraction(0.1)
+        .build_optimized();
+    let (e, a) = (exact.effectiveness(), approx.effectiveness());
+    assert!(
+        (e - a).abs() / e < 0.25,
+        "approximation drifted too far: exact {e} vs approx {a}"
+    );
+}
+
+#[test]
+fn enrichment_preserves_lake_shape_and_adds_paths() {
+    let bench = tagcloud();
+    let enriched = bench.enrich();
+    assert_eq!(bench.lake.n_attrs(), enriched.lake.n_attrs());
+    assert_eq!(bench.lake.n_tables(), enriched.lake.n_tables());
+    assert_eq!(
+        enriched.lake.n_attr_tag_assocs(),
+        2 * bench.lake.n_attr_tag_assocs(),
+        "every attribute gains exactly one extra tag"
+    );
+}
+
+#[test]
+fn socrata_split_supports_study_agents() {
+    let socrata = SocrataConfig::small().generate();
+    let (l2, l3) = socrata.split_disjoint(3);
+    for lake in [&l2, &l3] {
+        assert!(lake.n_tables() > 10);
+        let scenario = default_scenario(lake, "s", 2, 0.6);
+        assert!(!scenario.relevant.is_empty());
+        let built = OrganizerBuilder::new(lake).max_iters(60).build_clustering();
+        let found = NavigationAgent::run(
+            &[built],
+            lake,
+            &scenario,
+            &AgentConfig {
+                budget: 80,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        // A bounded walk may or may not find tables, but must terminate and
+        // stay within the lake.
+        for t in &found {
+            assert!(t.index() < lake.n_tables());
+        }
+    }
+}
+
+#[test]
+fn search_engine_and_navigation_find_overlapping_truth() {
+    let socrata = SocrataConfig::small().generate();
+    let lake = &socrata.lake;
+    let scenario = default_scenario(lake, "s", 3, 0.6);
+    let engine = KeywordSearch::build_with_expansion(
+        lake,
+        socrata.model.clone(),
+        datalake_nav::search::ExpansionConfig::default(),
+    );
+    let found = SearchAgent::run(
+        &engine,
+        &socrata.model,
+        lake,
+        &scenario,
+        &AgentConfig {
+            budget: 120,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    assert!(!found.is_empty(), "search must surface something");
+    let relevant = found.iter().filter(|t| scenario.relevant.contains(t)).count();
+    assert!(relevant * 2 >= found.len(), "mostly relevant results");
+}
+
+#[test]
+fn navigator_reaches_every_tag_state() {
+    // Structural completeness: every tag is reachable by some descent.
+    let bench = tagcloud();
+    let built = OrganizerBuilder::new(&bench.lake).build_clustering();
+    let org = &built.organization;
+    for t in 0..built.ctx.n_tags() as u32 {
+        let target = org.tag_state(t);
+        // Walk greedily toward the tag's own topic.
+        let query = built.ctx.tag(t).unit_topic.clone();
+        let mut nav = built.navigator();
+        let mut reached = false;
+        for _ in 0..64 {
+            if nav.current() == target {
+                reached = true;
+                break;
+            }
+            let probs = nav.transition_probs(&query);
+            if probs.is_empty() {
+                break;
+            }
+            let (best, _) = probs
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .copied()
+                .unwrap();
+            nav.descend(best).unwrap();
+        }
+        // Greedy may occasionally miss; but the tag state must at least be
+        // structurally reachable.
+        if !reached {
+            assert!(
+                org.is_ancestor(org.root(), target),
+                "tag state {t} unreachable from root"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_study_reproduces_h2_direction() {
+    // The headline §4.4 claim: navigation results are more disjoint across
+    // participants than search results.
+    let socrata = SocrataConfig::small().generate();
+    let (l2, l3) = socrata.split_disjoint(7);
+    let report = datalake_nav::study::run_study(
+        &l2,
+        &l3,
+        &socrata.model,
+        &StudyConfig {
+            n_participants: 8,
+            search: SearchConfig {
+                max_iters: 80,
+                ..Default::default()
+            },
+            agent: AgentConfig {
+                budget: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.nav_disjointness_median >= report.search_disjointness_median - 0.15,
+        "navigation disjointness ({}) should not fall far below search ({})",
+        report.nav_disjointness_median,
+        report.search_disjointness_median
+    );
+    assert!(report.cross_modality_overlap <= 1.0);
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the core invariants:
+//!
+//! * organizations stay structurally valid under arbitrary op sequences;
+//! * op undo restores the organization exactly;
+//! * the incremental evaluator always agrees with a fresh full evaluation;
+//! * bitsets behave like `BTreeSet<u32>`;
+//! * Zipf sampling stays in range; Mann–Whitney U invariants hold.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use datalake_nav::org::{
+    clustering_org, ops, Evaluator, NavConfig, OrgContext, Organization, Representatives,
+};
+use datalake_nav::prelude::*;
+use datalake_nav::study::mann_whitney_u;
+use datalake_nav::synth::Zipf;
+
+/// A small deterministic context shared by the org properties (generation
+/// is expensive; the *randomness* under test is the op sequence).
+fn small_ctx() -> OrgContext {
+    let bench = TagCloudConfig {
+        n_tags: 12,
+        n_attrs_target: 60,
+        values_min: 4,
+        values_max: 12,
+        store_values: false,
+        ..TagCloudConfig::small()
+    }
+    .generate();
+    OrgContext::full(&bench.lake)
+}
+
+/// Structural fingerprint row: (alive, children, parents, tag count, topic count).
+type FingerprintRow = (bool, Vec<u32>, Vec<u32>, usize, u64);
+
+fn org_fingerprint(org: &Organization) -> Vec<FingerprintRow> {
+    (0..org.n_slots() as u32)
+        .map(|i| {
+            let s = org.state(datalake_nav::org::StateId(i));
+            let mut ch: Vec<u32> = s.children.iter().map(|c| c.0).collect();
+            let mut pa: Vec<u32> = s.parents.iter().map(|p| p.0).collect();
+            ch.sort_unstable();
+            pa.sort_unstable();
+            (s.alive, ch, pa, s.tags.len(), s.topic.count())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ops_preserve_validity_and_evaluator_consistency(
+        steps in proptest::collection::vec((0u8..2, 0u16..1000, any::<bool>()), 1..12)
+    ) {
+        let ctx = small_ctx();
+        let mut org = clustering_org(&ctx);
+        let reps = Representatives::exact(&ctx);
+        let nav = NavConfig::default();
+        let mut ev = Evaluator::new(&ctx, &org, nav, &reps);
+        for (kind, target_raw, keep) in steps {
+            let targets: Vec<_> = org.alive_ids().filter(|&s| s != org.root()).collect();
+            let target = targets[target_raw as usize % targets.len()];
+            let reach = ev.reachability();
+            let before = org_fingerprint(&org);
+            let outcome = if kind == 0 {
+                ops::try_add_parent(&mut org, &ctx, target, &reach)
+            } else {
+                ops::try_delete_parent(&mut org, &ctx, target, &reach)
+            };
+            let Some(outcome) = outcome else { continue };
+            // Validity after every applied op.
+            org.validate(&ctx).expect("valid after op");
+            let (undo_ev, _) = ev.apply_delta(&ctx, &org, &outcome.dirty_parents);
+            // Incremental evaluation agrees with a fresh evaluator.
+            let fresh = Evaluator::new(&ctx, &org, nav, &reps);
+            prop_assert!((ev.effectiveness() - fresh.effectiveness()).abs() < 1e-9);
+            if keep {
+                continue;
+            }
+            // Rollback restores both the graph and the evaluator.
+            ev.rollback(undo_ev);
+            ops::undo(&mut org, &ctx, outcome);
+            prop_assert_eq!(org_fingerprint(&org), before);
+            let fresh2 = Evaluator::new(&ctx, &org, nav, &reps);
+            prop_assert!((ev.effectiveness() - fresh2.effectiveness()).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitset_behaves_like_btreeset(values in proptest::collection::vec(0u32..200, 0..64)) {
+        let mut bs = datalake_nav::org::BitSet::new(200);
+        let mut reference = BTreeSet::new();
+        for v in &values {
+            prop_assert_eq!(bs.insert(*v), reference.insert(*v));
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        let collected: Vec<u32> = bs.iter().collect();
+        let expected: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+        for v in 0..200u32 {
+            prop_assert_eq!(bs.contains(v), reference.contains(&v));
+        }
+        // Removal round-trip.
+        for v in &values {
+            prop_assert_eq!(bs.remove(*v), reference.remove(v));
+        }
+        prop_assert!(bs.is_empty());
+    }
+
+    #[test]
+    fn bitset_union_is_set_union(
+        a in proptest::collection::vec(0u32..128, 0..40),
+        b in proptest::collection::vec(0u32..128, 0..40),
+    ) {
+        let mut x = datalake_nav::org::BitSet::from_iter_with_capacity(128, a.iter().copied());
+        let y = datalake_nav::org::BitSet::from_iter_with_capacity(128, b.iter().copied());
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        x.union_with(&y);
+        let got: BTreeSet<u32> = x.iter().collect();
+        let want: BTreeSet<u32> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(x.is_superset_of(&y));
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support(n in 1usize..200, s in 0.0f64..3.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = Zipf::new(n, s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&v));
+        }
+        prop_assert!(z.mean() >= 1.0 && z.mean() <= n as f64);
+    }
+
+    #[test]
+    fn mann_whitney_u_complementarity(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..20),
+        b in proptest::collection::vec(-100.0f64..100.0, 1..20),
+    ) {
+        if let Some(mw) = mann_whitney_u(&a, &b) {
+            prop_assert!((mw.u1 + mw.u2 - (a.len() * b.len()) as f64).abs() < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&mw.p_value));
+            // Symmetry: swapping samples swaps U statistics.
+            let swapped = mann_whitney_u(&b, &a).unwrap();
+            prop_assert!((mw.u1 - swapped.u2).abs() < 1e-6);
+            prop_assert!((mw.p_value - swapped.p_value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn topic_accumulator_merge_unmerge_roundtrip(
+        xs in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 0..8),
+        ys in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 0..8),
+    ) {
+        let mut a = TopicAccumulator::new(4);
+        for x in &xs { a.add(x); }
+        let before_mean = a.mean();
+        let before_count = a.count();
+        let mut b = TopicAccumulator::new(4);
+        for y in &ys { b.add(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), xs.len() as u64 + ys.len() as u64);
+        a.unmerge(&b);
+        prop_assert_eq!(a.count(), before_count);
+        for (m1, m2) in a.mean().iter().zip(&before_mean) {
+            prop_assert!((m1 - m2).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cosine_bounds_and_symmetry(
+        a in proptest::collection::vec(-10.0f32..10.0, 8),
+        b in proptest::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        prop_assert!((c - cosine(&b, &a)).abs() < 1e-6);
+    }
+}
