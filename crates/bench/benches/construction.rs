@@ -1,13 +1,16 @@
-//! Criterion micro-benchmarks for organization construction: the kernels
-//! behind the §4.3.2 construction-time table — clustering initialization,
-//! k-medoids partitioning, the two local-search operations, and a bounded
+//! Micro-benchmarks for organization construction: the kernels behind the
+//! §4.3.2 construction-time table — clustering initialization, k-medoids
+//! partitioning, the two local-search operations, and a bounded
 //! local-search run (exact vs representative-approximate evaluation).
+//!
+//! Plain `main()` harness over [`dln_bench::timing`]; run with
+//! `cargo bench --bench construction`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use dln_bench::timing::bench_n;
 use dln_cluster::{CosinePoints, Dendrogram, KMedoids};
-use dln_org::{clustering_org, ops, search, Evaluator, NavConfig, OrgContext, Representatives, SearchConfig};
+use dln_org::{
+    clustering_org, ops, search, Evaluator, NavConfig, OrgContext, Representatives, SearchConfig,
+};
 use dln_synth::TagCloudConfig;
 
 fn bench_ctx() -> OrgContext {
@@ -21,93 +24,55 @@ fn bench_ctx() -> OrgContext {
     OrgContext::full(&bench.lake)
 }
 
-fn clustering_init(c: &mut Criterion) {
+fn main() {
     let ctx = bench_ctx();
-    c.bench_function("clustering_org/80tags", |b| {
-        b.iter(|| black_box(clustering_org(&ctx)))
-    });
-}
+    bench_n("clustering_org/80tags", 10, || clustering_org(&ctx));
 
-fn agglomerative(c: &mut Criterion) {
-    let ctx = bench_ctx();
-    let points = CosinePoints::new(ctx.tags().iter().map(|t| t.unit_topic.as_slice()).collect());
-    c.bench_function("dendrogram/average_linkage/80", |b| {
-        b.iter(|| black_box(Dendrogram::average_linkage(&points)))
+    let tag_points =
+        CosinePoints::new(ctx.tags().iter().map(|t| t.unit_topic.as_slice()).collect());
+    bench_n("dendrogram/average_linkage/80", 20, || {
+        Dendrogram::average_linkage(&tag_points)
     });
-}
 
-fn kmedoids(c: &mut Criterion) {
-    let ctx = bench_ctx();
-    let points =
-        CosinePoints::new(ctx.attrs().iter().map(|a| a.unit_topic.as_slice()).collect());
-    let mut g = c.benchmark_group("kmedoids/attrs500");
+    let attr_points = CosinePoints::new(
+        ctx.attrs()
+            .iter()
+            .map(|a| a.unit_topic.as_slice())
+            .collect(),
+    );
     for k in [10usize, 50] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(KMedoids::fit(&points, k, 7)))
+        bench_n(&format!("kmedoids/attrs500/k{k}"), 5, || {
+            KMedoids::fit(&attr_points, k, 7)
         });
     }
-    g.finish();
-}
 
-fn op_add_parent(c: &mut Criterion) {
-    let ctx = bench_ctx();
-    let org = clustering_org(&ctx);
+    // Op + undo leaves the organization bit-identical, so one instance can
+    // be reused across iterations.
+    let mut org = clustering_org(&ctx);
     let reach = vec![0.5f64; org.n_slots()];
-    c.bench_function("op/add_parent+undo", |b| {
-        b.iter_batched(
-            || org.clone(),
-            |mut o| {
-                let s = o.tag_state(3);
-                if let Some(out) = ops::try_add_parent(&mut o, &ctx, s, &reach) {
-                    ops::undo(&mut o, &ctx, out);
-                }
-                black_box(o)
-            },
-            BatchSize::SmallInput,
-        )
+    bench_n("op/add_parent+undo", 200, || {
+        let s = org.tag_state(3);
+        if let Some(out) = ops::try_add_parent(&mut org, &ctx, s, &reach) {
+            ops::undo(&mut org, &ctx, out);
+        }
     });
-}
 
-fn local_search_bounded(c: &mut Criterion) {
-    let ctx = bench_ctx();
-    let mut g = c.benchmark_group("local_search/50iters");
-    g.sample_size(10);
     for (name, rep_fraction) in [("exact", 1.0f64), ("approx10", 0.1)] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || clustering_org(&ctx),
-                |mut org| {
-                    let cfg = SearchConfig {
-                        max_iters: 50,
-                        plateau_iters: usize::MAX,
-                        rep_fraction,
-                        ..Default::default()
-                    };
-                    black_box(search::optimize(&ctx, &mut org, &cfg))
-                },
-                BatchSize::SmallInput,
-            )
+        bench_n(&format!("local_search/50iters/{name}"), 3, || {
+            let mut org = clustering_org(&ctx);
+            let cfg = SearchConfig {
+                max_iters: 50,
+                plateau_iters: usize::MAX,
+                rep_fraction,
+                ..Default::default()
+            };
+            search::optimize(&ctx, &mut org, &cfg)
         });
     }
-    g.finish();
-}
 
-fn evaluator_build(c: &mut Criterion) {
-    let ctx = bench_ctx();
     let org = clustering_org(&ctx);
     let reps = Representatives::exact(&ctx);
-    c.bench_function("evaluator/full_build/exact", |b| {
-        b.iter(|| black_box(Evaluator::new(&ctx, &org, NavConfig::default(), &reps)))
+    bench_n("evaluator/full_build/exact", 10, || {
+        Evaluator::new(&ctx, &org, NavConfig::default(), &reps)
     });
 }
-
-criterion_group!(
-    benches,
-    clustering_init,
-    agglomerative,
-    kmedoids,
-    op_add_parent,
-    local_search_bounded,
-    evaluator_build
-);
-criterion_main!(benches);

@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks for the navigation-model evaluation kernels:
-//! the reach-probability DP, incremental delta evaluation, exact discovery
-//! probabilities, success-curve computation, and generator throughput.
+//! Micro-benchmarks for the navigation-model evaluation kernels: the
+//! reach-probability DP, incremental delta evaluation (cached parallel path
+//! vs the seed baseline), exact discovery probabilities, success-curve
+//! computation, and generator throughput.
+//!
+//! Plain `main()` harness over [`dln_bench::timing`]; run with
+//! `cargo bench --bench evaluation`. The deeper threaded sweep that emits
+//! `BENCH_eval.json` lives in the `bench_eval` binary.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use dln_bench::timing::bench_n;
 use dln_org::{
     clustering_org, eval::discovery_probs, ops, success, Evaluator, NavConfig, OrgContext,
     Representatives,
@@ -23,98 +26,69 @@ fn bench_setup() -> (dln_lake::DataLake, OrgContext) {
     (bench.lake, ctx)
 }
 
-fn full_evaluation(c: &mut Criterion) {
-    let (_lake, ctx) = bench_setup();
+fn main() {
+    let (lake, ctx) = bench_setup();
     let org = clustering_org(&ctx);
-    let mut g = c.benchmark_group("evaluator/full");
+
     for (name, fraction) in [("exact", 1.0f64), ("reps10", 0.1)] {
         let reps = if fraction >= 1.0 {
             Representatives::exact(&ctx)
         } else {
             Representatives::kmedoids(&ctx, fraction, 7)
         };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(Evaluator::new(&ctx, &org, NavConfig::default(), &reps)))
+        bench_n(&format!("evaluator/full/{name}"), 10, || {
+            Evaluator::new(&ctx, &org, NavConfig::default(), &reps)
         });
     }
-    g.finish();
-}
 
-fn incremental_delta(c: &mut Criterion) {
-    let (_lake, ctx) = bench_setup();
+    // Delta + rollback restores both structures exactly, so the organization
+    // and evaluator are reused across iterations.
     let reps = Representatives::exact(&ctx);
-    c.bench_function("evaluator/incremental_delta", |b| {
-        b.iter_batched(
-            || {
-                let org = clustering_org(&ctx);
-                let ev = Evaluator::new(&ctx, &org, NavConfig::default(), &reps);
-                (org, ev)
-            },
-            |(mut org, mut ev)| {
-                let reach = ev.reachability();
-                let s = org.tag_state(3);
-                let out = ops::try_add_parent(&mut org, &ctx, s, &reach).expect("applicable");
-                let (undo, stats) = ev.apply_delta(&ctx, &org, &out.dirty_parents);
-                black_box(stats);
-                ev.rollback(undo);
-                ops::undo(&mut org, &ctx, out);
-            },
-            BatchSize::SmallInput,
-        )
+    let mut delta_org = clustering_org(&ctx);
+    let mut ev = Evaluator::new(&ctx, &delta_org, NavConfig::default(), &reps);
+    let mut reach = Vec::new();
+    bench_n("evaluator/incremental_delta/cached", 100, || {
+        ev.reachability_into(&mut reach);
+        let s = delta_org.tag_state(3);
+        let out = ops::try_add_parent(&mut delta_org, &ctx, s, &reach).expect("applicable");
+        let (undo, stats) = ev.apply_delta(&ctx, &delta_org, &out.dirty_parents);
+        ev.rollback(undo);
+        ops::undo(&mut delta_org, &ctx, out);
+        stats
     });
-}
+    bench_n("evaluator/incremental_delta/seed_baseline", 100, || {
+        ev.reachability_into(&mut reach);
+        let s = delta_org.tag_state(3);
+        let out = ops::try_add_parent(&mut delta_org, &ctx, s, &reach).expect("applicable");
+        let (undo, stats) = ev.apply_delta_uncached(&ctx, &delta_org, &out.dirty_parents);
+        ev.rollback(undo);
+        ops::undo(&mut delta_org, &ctx, out);
+        stats
+    });
 
-fn exact_discovery(c: &mut Criterion) {
-    let (_lake, ctx) = bench_setup();
-    let org = clustering_org(&ctx);
-    let mut g = c.benchmark_group("discovery_probs/500attrs");
-    g.sample_size(20);
     for threads in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(discovery_probs(&ctx, &org, NavConfig::default(), t)))
+        bench_n(&format!("discovery_probs/500attrs/t{threads}"), 3, || {
+            discovery_probs(&ctx, &org, NavConfig::default(), threads)
         });
     }
-    g.finish();
-}
 
-fn success_curve(c: &mut Criterion) {
-    let (lake, ctx) = bench_setup();
-    let org = clustering_org(&ctx);
     let disc = {
         let built = dln_org::builder::BuiltOrganization {
             ctx: ctx.clone(),
-            organization: org,
+            organization: org.clone(),
             nav: NavConfig::default(),
             search_stats: None,
         };
         built.attr_discovery_global(&lake)
     };
-    let mut g = c.benchmark_group("success_curve/500attrs");
-    g.sample_size(20);
-    g.bench_function("theta0.9", |b| {
-        b.iter(|| black_box(success::success_curve(&lake, &disc, 0.9, 4)))
+    bench_n("success_curve/500attrs/theta0.9", 5, || {
+        success::success_curve(&lake, &disc, 0.9, 4)
     });
-    g.finish();
-}
 
-fn generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generators");
-    g.sample_size(10);
-    g.bench_function("tagcloud/small", |b| {
-        b.iter(|| black_box(TagCloudConfig::small().generate()))
+    bench_n("generators/tagcloud/small", 3, || {
+        TagCloudConfig::small().generate()
     });
-    g.bench_function("socrata/small", |b| {
-        b.iter(|| black_box(SocrataConfig::small().generate()))
+    bench_n("generators/socrata/small", 3, || {
+        SocrataConfig::small().generate()
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    full_evaluation,
-    incremental_delta,
-    exact_discovery,
-    success_curve,
-    generators
-);
-criterion_main!(benches);

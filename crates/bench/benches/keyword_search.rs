@@ -1,13 +1,18 @@
-//! Criterion micro-benchmarks for the keyword-search substrate: index
-//! construction, plain BM25 queries, and expansion-enabled queries.
+//! Micro-benchmarks for the keyword-search substrate: index construction,
+//! plain BM25 queries, and expansion-enabled queries.
+//!
+//! Plain `main()` harness over [`dln_bench::timing`]; run with
+//! `cargo bench --bench keyword_search`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use dln_bench::timing::bench_n;
 use dln_search::{ExpansionConfig, KeywordSearch};
 use dln_synth::SocrataConfig;
 
-fn setup() -> (dln_lake::DataLake, dln_embed::SyntheticEmbedding, Vec<String>) {
+fn setup() -> (
+    dln_lake::DataLake,
+    dln_embed::SyntheticEmbedding,
+    Vec<String>,
+) {
     let s = SocrataConfig::small().generate();
     // Query terms: a few vocabulary words.
     let queries: Vec<String> = (0..8)
@@ -16,52 +21,35 @@ fn setup() -> (dln_lake::DataLake, dln_embed::SyntheticEmbedding, Vec<String>) {
     (s.lake, s.model, queries)
 }
 
-fn index_build(c: &mut Criterion) {
-    let (lake, model, _q) = setup();
-    let mut g = c.benchmark_group("keyword_index/build");
-    g.sample_size(10);
-    g.bench_function("plain", |b| b.iter(|| black_box(KeywordSearch::build(&lake))));
-    g.bench_function("with_expansion", |b| {
-        b.iter(|| {
-            black_box(KeywordSearch::build_with_expansion(
-                &lake,
-                model.clone(),
-                ExpansionConfig::default(),
-            ))
-        })
-    });
-    g.finish();
-}
-
-fn query(c: &mut Criterion) {
+fn main() {
     let (lake, model, queries) = setup();
+
+    bench_n("keyword_index/build/plain", 5, || {
+        KeywordSearch::build(&lake)
+    });
+    bench_n("keyword_index/build/with_expansion", 5, || {
+        KeywordSearch::build_with_expansion(&lake, model.clone(), ExpansionConfig::default())
+    });
+
     let plain = KeywordSearch::build(&lake);
     let expanded =
-        KeywordSearch::build_with_expansion(&lake, model, ExpansionConfig::default());
-    let mut g = c.benchmark_group("keyword_query/top10");
-    g.bench_function("bm25", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(plain.search(q, 10));
-            }
-        })
+        KeywordSearch::build_with_expansion(&lake, model.clone(), ExpansionConfig::default());
+    bench_n("keyword_query/top10/bm25", 20, || {
+        queries
+            .iter()
+            .map(|q| plain.search(q, 10).len())
+            .sum::<usize>()
     });
-    g.bench_function("bm25+expansion", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(expanded.search(q, 10));
-            }
-        })
+    bench_n("keyword_query/top10/bm25+expansion", 20, || {
+        queries
+            .iter()
+            .map(|q| expanded.search(q, 10).len())
+            .sum::<usize>()
     });
-    g.bench_function("bm25+expansion/expansion_disabled", |b| {
-        b.iter(|| {
-            for q in &queries {
-                black_box(expanded.search_with_options(q, 10, false));
-            }
-        })
+    bench_n("keyword_query/top10/expansion_disabled", 20, || {
+        queries
+            .iter()
+            .map(|q| expanded.search_with_options(q, 10, false).len())
+            .sum::<usize>()
     });
-    g.finish();
 }
-
-criterion_group!(benches, index_build, query);
-criterion_main!(benches);

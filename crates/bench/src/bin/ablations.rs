@@ -12,8 +12,8 @@
 
 use dln_bench::{print_table, write_csv, ExpArgs};
 use dln_org::{
-    bisecting_org, clustering_org, flat_org, random_org, search, Evaluator, NavConfig,
-    OrgContext, Organization, Representatives, SearchConfig,
+    bisecting_org, clustering_org, flat_org, random_org, search, Evaluator, NavConfig, OrgContext,
+    Organization, Representatives, SearchConfig,
 };
 use dln_synth::TagCloudConfig;
 
@@ -58,7 +58,10 @@ fn main() {
     print_table(&["gamma", "flat", "clustering", "ratio"], &rows);
 
     // --- 2. Initialization ablation. ---
-    println!("\n[2] initialization: effectiveness before → after local search (γ = {})", args.gamma);
+    println!(
+        "\n[2] initialization: effectiveness before → after local search (γ = {})",
+        args.gamma
+    );
     let nav = NavConfig { gamma: args.gamma };
     let base_cfg = SearchConfig {
         nav,
@@ -110,10 +113,15 @@ fn main() {
             format!("{eff:.4}"),
         ]);
     }
-    print_table(&["fraction", "queries", "seconds", "final eff (exact)"], &rows);
+    print_table(
+        &["fraction", "queries", "seconds", "final eff (exact)"],
+        &rows,
+    );
 
     // --- 4. Acceptance sharpening. ---
-    println!("\n[4] acceptance β (Eq 9 sharpening): random walk vs directed search, from a random init");
+    println!(
+        "\n[4] acceptance β (Eq 9 sharpening): random walk vs directed search, from a random init"
+    );
     let mut rows = Vec::new();
     for beta in [1.0f64, 50.0, 400.0, f64::INFINITY] {
         let mut org = random_org(&ctx, args.seed);

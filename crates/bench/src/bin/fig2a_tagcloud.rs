@@ -57,7 +57,10 @@ fn main() {
         eprintln!("{name}: {} ({secs:.1}s)", curve_summary(&values));
         rows.push(vec![
             name.to_string(),
-            format!("{:.4}", values.iter().sum::<f64>() / values.len().max(1) as f64),
+            format!(
+                "{:.4}",
+                values.iter().sum::<f64>() / values.len().max(1) as f64
+            ),
             format!("{secs:.1}"),
         ]);
         columns.push((name.to_string(), values));
@@ -170,10 +173,7 @@ fn main() {
     println!(
         "paper shape: baseline(0.016) << clustering(~10x) << 1-dim(~3x clustering) < 2-dim(0.426) <= 3-dim <= 4-dim; enriched lifts the tail\n"
     );
-    print_table(
-        &["organization", "avg success", "build+eval s"],
-        &rows,
-    );
+    print_table(&["organization", "avg success", "build+eval s"], &rows);
     let cols: Vec<(&str, &[f64])> = columns
         .iter()
         .map(|(n, v)| (n.as_str(), v.as_slice()))

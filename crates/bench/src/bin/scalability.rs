@@ -18,10 +18,7 @@ use dln_synth::SocrataConfig;
 fn main() {
     let args = ExpArgs::parse(0.2);
     let top = args.effective_scale();
-    let factors: Vec<f64> = [0.125, 0.25, 0.5, 1.0]
-        .iter()
-        .map(|f| f * top)
-        .collect();
+    let factors: Vec<f64> = [0.125, 0.25, 0.5, 1.0].iter().map(|f| f * top).collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
     for &f in &factors {
@@ -68,20 +65,24 @@ fn main() {
             format!("{eval_s:.2}"),
             format!("{eff:.4}"),
         ]);
-        for (c, v) in cols.iter_mut().zip([
-            f,
-            lake.n_attrs() as f64,
-            gen_s,
-            build_s,
-            eval_s,
-            eff,
-        ]) {
+        for (c, v) in cols
+            .iter_mut()
+            .zip([f, lake.n_attrs() as f64, gen_s, build_s, eval_s, eff])
+        {
             c.push(v);
         }
     }
     println!("\nScalability sweep (2-dim organizations, 10% representatives)");
     print_table(
-        &["scale", "tables", "attrs", "gen s", "build s", "eval s", "effectiveness"],
+        &[
+            "scale",
+            "tables",
+            "attrs",
+            "gen s",
+            "build s",
+            "eval s",
+            "effectiveness",
+        ],
         &rows,
     );
     // Growth-rate check: construction should scale roughly sub-quadratically

@@ -20,9 +20,7 @@
 //! cuts 2-dim construction by roughly 5× with negligible quality loss.
 
 use dln_bench::{print_table, write_csv, ExpArgs};
-use dln_org::{
-    MultiDimConfig, MultiDimOrganization, NavConfig, OrganizerBuilder, SearchConfig,
-};
+use dln_org::{MultiDimConfig, MultiDimOrganization, NavConfig, OrganizerBuilder, SearchConfig};
 use dln_synth::TagCloudConfig;
 
 fn main() {
@@ -114,9 +112,7 @@ fn main() {
     let rows: Vec<Vec<String>> = paper
         .iter()
         .zip(&measured)
-        .map(|((name, p), m)| {
-            vec![name.to_string(), format!("{p:.1}"), format!("{m:.2}")]
-        })
+        .map(|((name, p), m)| vec![name.to_string(), format!("{p:.1}"), format!("{m:.2}")])
         .collect();
     print_table(&["organization", "paper s", "measured s"], &rows);
     let one_dim = measured[1];

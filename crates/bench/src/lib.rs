@@ -18,6 +18,8 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+pub mod timing;
+
 /// Parsed common experiment arguments.
 #[derive(Clone, Debug)]
 pub struct ExpArgs {
@@ -80,9 +82,7 @@ impl ExpArgs {
                     i += 1;
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --scale <f> --full --seed <n> --gamma <g> --out <dir>"
-                    );
+                    eprintln!("flags: --scale <f> --full --seed <n> --gamma <g> --out <dir>");
                     std::process::exit(0);
                 }
                 other => die(&format!("unknown flag {other}")),

@@ -35,5 +35,7 @@ pub mod vocab;
 
 pub use model::{EmbeddingModel, SyntheticEmbedding, SyntheticEmbeddingConfig, VecFileModel};
 pub use tokenize::{is_numeric_value, tokenize};
-pub use vector::{cosine, dot, l2_norm, mean, normalize, normalized, TopicAccumulator};
+pub use vector::{
+    batch_dot_wide, cosine, dot, l2_norm, mean, normalize, normalized, TopicAccumulator,
+};
 pub use vocab::{TokenId, Vocabulary, VocabularyConfig};

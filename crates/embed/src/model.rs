@@ -257,7 +257,12 @@ mod tests {
     #[test]
     fn embed_known_word() {
         let m = model(1.0);
-        let (id, word) = m.vocab().iter().next().map(|(i, w)| (i, w.to_string())).unwrap();
+        let (id, word) = m
+            .vocab()
+            .iter()
+            .next()
+            .map(|(i, w)| (i, w.to_string()))
+            .unwrap();
         let v = m.embed(&word).expect("covered word must embed");
         assert_eq!(v, m.vocab().vector(id));
         assert!((l2_norm(v) - 1.0).abs() < 1e-5);

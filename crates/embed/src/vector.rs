@@ -34,6 +34,27 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     acc + s0 + s1 + s2 + s3
 }
 
+/// Dot products of every row of a row-major `n_rows × x.len()` matrix
+/// against `x`, widened to `f64` and written into `out`.
+///
+/// Each row runs the same unrolled `f32` kernel as [`dot`], so
+/// `out[i] == dot(row_i, x) as f64` bit-for-bit — callers that cache rows
+/// contiguously (e.g. the evaluator's child-topic matrices) get results
+/// identical to per-row `dot` calls over scattered vectors, but with a
+/// single streaming pass over memory.
+///
+/// # Panics
+/// Panics in debug builds if `mat.len() != n_rows * x.len()`.
+pub fn batch_dot_wide(mat: &[f32], x: &[f32], n_rows: usize, out: &mut Vec<f64>) {
+    let dim = x.len();
+    debug_assert_eq!(mat.len(), n_rows * dim, "batch_dot_wide: shape mismatch");
+    out.clear();
+    out.reserve(n_rows);
+    for row in 0..n_rows {
+        out.push(dot(&mat[row * dim..(row + 1) * dim], x) as f64);
+    }
+}
+
 /// Euclidean (L2) norm of a vector.
 #[inline]
 pub fn l2_norm(a: &[f32]) -> f32 {
@@ -212,6 +233,29 @@ mod tests {
     #[test]
     fn dot_empty_is_zero() {
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn batch_dot_wide_matches_per_row_dot_bitwise() {
+        let dim = 7;
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|r| (0..dim).map(|i| ((r * dim + i) as f32).sin()).collect())
+            .collect();
+        let x: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mat: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut out = vec![999.0f64; 2]; // stale contents must be discarded
+        batch_dot_wide(&mat, &x, rows.len(), &mut out);
+        assert_eq!(out.len(), rows.len());
+        for (o, row) in out.iter().zip(&rows) {
+            assert_eq!(o.to_bits(), (dot(row, &x) as f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_dot_wide_zero_rows() {
+        let mut out = vec![1.0f64];
+        batch_dot_wide(&[], &[1.0, 2.0], 0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

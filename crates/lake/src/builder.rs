@@ -146,7 +146,11 @@ impl LakeBuilder {
             topic,
             unit_topic,
             n_values,
-            values: if self.store_values { values } else { Vec::new() },
+            values: if self.store_values {
+                values
+            } else {
+                Vec::new()
+            },
         });
         self.tables[table.index()].attrs.push(id);
         id

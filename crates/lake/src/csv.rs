@@ -133,11 +133,7 @@ pub struct ParsedTable {
 }
 
 /// Classify and extract the text columns of a parsed CSV.
-pub fn extract_text_columns(
-    name: &str,
-    rows: &[Vec<String>],
-    opts: &CsvOptions,
-) -> ParsedTable {
+pub fn extract_text_columns(name: &str, rows: &[Vec<String>], opts: &CsvOptions) -> ParsedTable {
     let mut table = ParsedTable {
         name: name.to_string(),
         tags: Vec::new(),
@@ -338,8 +334,7 @@ mod tests {
             format!("city,pop,score\n{w0},61000,0.5\n{w0},99000,0.7\n{w0},45000,0.9\n"),
         )
         .unwrap();
-        let (lake, catalog) =
-            load_dir_with_numeric(&dir, &m, &CsvOptions::default()).unwrap();
+        let (lake, catalog) = load_dir_with_numeric(&dir, &m, &CsvOptions::default()).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
         assert_eq!(lake.n_tables(), 1);
         assert_eq!(catalog.len(), 2, "pop and score profiled");

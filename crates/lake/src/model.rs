@@ -226,13 +226,8 @@ impl DataLake {
             let nt = b.begin_table(&table.name);
             for &aid in &table.attrs {
                 let a = self.attr(aid);
-                let na = b.add_attribute_raw(
-                    nt,
-                    &a.name,
-                    a.topic.clone(),
-                    a.n_values,
-                    a.values.clone(),
-                );
+                let na =
+                    b.add_attribute_raw(nt, &a.name, a.topic.clone(), a.n_values, a.values.clone());
                 // Re-attach tags at the attribute level, which exactly
                 // preserves the attribute–tag association structure whether
                 // the original tags were table- or attribute-scoped.
@@ -278,7 +273,9 @@ impl DataLake {
 mod tests {
     use super::*;
     use crate::builder::LakeBuilder;
-    use dln_embed::{EmbeddingModel, SyntheticEmbedding, SyntheticEmbeddingConfig, VocabularyConfig};
+    use dln_embed::{
+        EmbeddingModel, SyntheticEmbedding, SyntheticEmbeddingConfig, VocabularyConfig,
+    };
 
     fn tiny_model() -> SyntheticEmbedding {
         SyntheticEmbedding::new(&SyntheticEmbeddingConfig {
@@ -352,11 +349,7 @@ mod tests {
         let lake = tiny_lake();
         let ocean = lake.tag_by_label("ocean").unwrap();
         let tag = lake.tag(ocean);
-        let expected: u64 = tag
-            .attrs
-            .iter()
-            .map(|&a| lake.attr(a).topic.count())
-            .sum();
+        let expected: u64 = tag.attrs.iter().map(|&a| lake.attr(a).topic.count()).sum();
         assert_eq!(tag.topic.count(), expected);
     }
 

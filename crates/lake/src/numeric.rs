@@ -69,10 +69,7 @@ impl NumericProfile {
         values: I,
         min_numeric: usize,
     ) -> Option<NumericProfile> {
-        let parsed: Vec<f64> = values
-            .into_iter()
-            .filter_map(parse_numeric)
-            .collect();
+        let parsed: Vec<f64> = values.into_iter().filter_map(parse_numeric).collect();
         if parsed.len() < min_numeric.max(1) {
             return None;
         }
@@ -103,7 +100,8 @@ impl NumericProfile {
             // Negative support indicator.
             if self.min < 0.0 { 1.0 } else { 0.0 },
             // Bounded-looking column ([0,1] / [0,100]-ish)?
-            if self.min >= 0.0 && (self.max <= 1.0 || (self.max <= 100.0 && self.fraction_int > 0.5))
+            if self.min >= 0.0
+                && (self.max <= 1.0 || (self.max <= 100.0 && self.fraction_int > 0.5))
             {
                 1.0
             } else {
@@ -239,21 +237,29 @@ mod tests {
     fn similar_distributions_score_high() {
         // Two "population count" columns at different city sizes.
         let a = NumericProfile::from_values(
-            &(0..100).map(|i| 10_000.0 + (i as f64) * 950.0).collect::<Vec<_>>(),
+            &(0..100)
+                .map(|i| 10_000.0 + (i as f64) * 950.0)
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let b = NumericProfile::from_values(
-            &(0..80).map(|i| 20_000.0 + (i as f64) * 1_200.0).collect::<Vec<_>>(),
+            &(0..80)
+                .map(|i| 20_000.0 + (i as f64) * 1_200.0)
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         // A "percentage" column.
         let c = NumericProfile::from_values(
-            &(0..50).map(|i| (i as f64) * 97.0 / 49.0).collect::<Vec<_>>(),
+            &(0..50)
+                .map(|i| (i as f64) * 97.0 / 49.0)
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         // A "signed ratio" column.
         let d = NumericProfile::from_values(
-            &(0..60).map(|i| -1.0 + (i as f64) * 0.033).collect::<Vec<_>>(),
+            &(0..60)
+                .map(|i| -1.0 + (i as f64) * 0.033)
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         assert!(
@@ -278,7 +284,13 @@ mod tests {
         // columns should.
         let uniform: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let skewed: Vec<f64> = (0..100)
-            .map(|i| if i < 90 { (i / 30) as f64 } else { 50.5 + i as f64 })
+            .map(|i| {
+                if i < 90 {
+                    (i / 30) as f64
+                } else {
+                    50.5 + i as f64
+                }
+            })
             .collect();
         let shifted_uniform: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64).collect();
         let pu = NumericProfile::from_values(&uniform).unwrap();

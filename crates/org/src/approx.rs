@@ -52,8 +52,12 @@ impl Representatives {
         if k == n {
             return Self::exact(ctx);
         }
-        let points =
-            CosinePoints::new(ctx.attrs().iter().map(|a| a.unit_topic.as_slice()).collect());
+        let points = CosinePoints::new(
+            ctx.attrs()
+                .iter()
+                .map(|a| a.unit_topic.as_slice())
+                .collect(),
+        );
         let km = KMedoids::fit(&points, k, seed);
         let reps: Vec<u32> = km.medoids.iter().map(|&m| m as u32).collect();
         let rep_of_attr: Vec<u32> = km.assignments.iter().map(|&c| c as u32).collect();

@@ -16,11 +16,11 @@ use crate::search::{self, SearchConfig, SearchStats};
 use crate::success::{self, SuccessCurve};
 
 /// Number of worker threads for the embarrassingly parallel evaluation
-/// loops (exact discovery probabilities, similarity sets).
+/// loops (exact discovery probabilities, similarity sets). Delegates to the
+/// rayon shim so the `DLN_THREADS` / `RAYON_NUM_THREADS` environment knobs
+/// (and `rayon::set_num_threads`) govern every parallel loop in the system.
 pub(crate) fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    rayon::current_num_threads()
 }
 
 /// Fluent builder for organizations over a data lake (or one tag group of
@@ -158,12 +158,8 @@ impl BuiltOrganization {
     /// Exact discovery probability of every *lake* attribute (Def. 1);
     /// attributes outside this organization's context get 0.0.
     pub fn attr_discovery_global(&self, lake: &DataLake) -> Vec<f64> {
-        let local = eval::discovery_probs(
-            &self.ctx,
-            &self.organization,
-            self.nav,
-            default_threads(),
-        );
+        let local =
+            eval::discovery_probs(&self.ctx, &self.organization, self.nav, default_threads());
         let mut out = vec![0.0f64; lake.n_attrs()];
         for (i, a) in self.ctx.attrs().iter().enumerate() {
             out[a.global.index()] = local[i];
@@ -199,7 +195,11 @@ mod tests {
         let clus = builder.build_clustering();
         let opt = builder.build_optimized();
         opt.organization.validate(&opt.ctx).expect("valid");
-        let (ef, ec, eo) = (flat.effectiveness(), clus.effectiveness(), opt.effectiveness());
+        let (ef, ec, eo) = (
+            flat.effectiveness(),
+            clus.effectiveness(),
+            opt.effectiveness(),
+        );
         assert!(ec > ef, "clustering {ec} must beat flat {ef}");
         assert!(
             eo >= ec,

@@ -61,6 +61,10 @@ pub struct OrgContext {
     tags: Vec<LocalTag>,
     attrs: Vec<LocalAttr>,
     tables: Vec<LocalTable>,
+    /// Row-major `n_attrs × dim` matrix of attribute unit topics — the
+    /// contiguous mirror of `attrs[a].unit_topic`, so query-unit scans and
+    /// final-hop softmaxes stream over adjacent memory.
+    attr_units: Vec<f32>,
     attr_of_global: HashMap<AttrId, u32>,
     tag_of_global: HashMap<TagId, u32>,
 }
@@ -135,11 +139,16 @@ impl OrgContext {
             });
         }
         let tags: Vec<LocalTag> = tags.into_iter().map(|t| t.expect("filled")).collect();
+        let mut attr_units = Vec::with_capacity(attrs.len() * lake.dim());
+        for a in &attrs {
+            attr_units.extend_from_slice(&a.unit_topic);
+        }
         OrgContext {
             dim: lake.dim(),
             tags,
             attrs,
             tables,
+            attr_units,
             attr_of_global,
             tag_of_global,
         }
@@ -199,6 +208,15 @@ impl OrgContext {
         &self.attrs[local as usize]
     }
 
+    /// The unit topic of attribute `local` as a row of the contiguous
+    /// attribute-unit matrix (identical values to
+    /// `attr(local).unit_topic`, cache-friendly when scanning populations).
+    #[inline]
+    pub fn attr_unit(&self, local: u32) -> &[f32] {
+        let i = local as usize * self.dim;
+        &self.attr_units[i..i + self.dim]
+    }
+
     /// Local id of a lake-global attribute, if present in this context.
     pub fn local_attr(&self, global: AttrId) -> Option<u32> {
         self.attr_of_global.get(&global).copied()
@@ -225,7 +243,11 @@ mod tests {
     fn full_context_covers_lake() {
         let (lake, ctx) = small_ctx();
         assert_eq!(ctx.n_tags(), lake.n_tags());
-        assert_eq!(ctx.n_attrs(), lake.n_attrs(), "TagCloud attrs all have topics");
+        assert_eq!(
+            ctx.n_attrs(),
+            lake.n_attrs(),
+            "TagCloud attrs all have topics"
+        );
         assert_eq!(ctx.n_tables(), lake.n_tables());
         assert_eq!(ctx.dim(), lake.dim());
     }
@@ -240,6 +262,14 @@ mod tests {
         for tg in lake.tag_ids() {
             let local = ctx.local_tag(tg).expect("tag present");
             assert_eq!(ctx.tag(local).global, tg);
+        }
+    }
+
+    #[test]
+    fn attr_unit_matrix_mirrors_unit_topics() {
+        let (_lake, ctx) = small_ctx();
+        for a in 0..ctx.n_attrs() as u32 {
+            assert_eq!(ctx.attr_unit(a), ctx.attr(a).unit_topic.as_slice());
         }
     }
 

@@ -14,15 +14,28 @@
 //!   probability of selecting the attribute among that tag's attributes.
 //! * **Table discovery & effectiveness** (Def. 2, Eqs 5–6).
 //!
-//! The evaluator holds per-query reach arrays so that a local-search
+//! The evaluator holds per-query reach rows so that a local-search
 //! operation only re-evaluates its *affected subgraph* (§3.4): the
 //! descendants of the states whose outgoing transition distribution
 //! changed. Every delta application returns an undo token so a rejected
 //! Metropolis proposal rolls the evaluator back exactly.
+//!
+//! Performance (see `DESIGN.md`, "Performance architecture"): the reach
+//! matrix is one contiguous `n_queries × n_slots` allocation driven by
+//! `rayon::par_chunks_mut` — queries are independent, so both the full
+//! recompute and the incremental delta fan out across threads while
+//! keeping every per-query reduction in fixed topological order
+//! (bit-identical results for any thread count). Child topic vectors are
+//! cached per state as contiguous `f32` matrices so Eq 1 is a streaming
+//! mat-vec; the affected subgraph and the active parent list are computed
+//! once per delta instead of once per query; and reachability (Eq 10) is
+//! served from incrementally maintained column sums.
 
-use dln_embed::dot;
+use dln_embed::{batch_dot_wide, dot};
+use rayon::prelude::*;
 
 use crate::approx::Representatives;
+use crate::bitset::BitSet;
 use crate::ctx::OrgContext;
 use crate::graph::{Organization, StateId};
 
@@ -54,11 +67,33 @@ struct Query {
 }
 
 /// Rollback token for [`Evaluator::apply_delta`].
+///
+/// Reach values are stored struct-of-arrays: one shared list of affected
+/// slots plus a dense query-major value matrix, instead of one
+/// `(query, slot, value)` triple per entry — a third of the memory traffic
+/// and a single allocation per field.
 #[derive(Debug, Default)]
 pub struct EvalUndo {
-    changed_reach: Vec<(u32, u32, f64)>,
-    changed_disc: Vec<(u32, f64)>,
-    changed_tables: Vec<(u32, f64)>,
+    /// Affected slots (shared column index set for every query's row).
+    slots: Vec<u32>,
+    /// Saved reach values, query-major: `reach_values[q * slots.len() + k]`
+    /// is the pre-delta value of query `q` at slot `slots[k]`.
+    reach_values: Vec<f64>,
+    /// Saved reachability column sums, parallel to `slots`.
+    sum_values: Vec<f64>,
+    /// Seed-format `(query, slot, value)` log, used only by the
+    /// [`apply_delta_uncached`](Evaluator::apply_delta_uncached) baseline.
+    reach_aos: Vec<(u32, u32, f64)>,
+    /// Changed discovery probabilities (query index / previous value).
+    disc_q: Vec<u32>,
+    disc_v: Vec<f64>,
+    /// Changed table probabilities (table index / previous value).
+    tables_t: Vec<u32>,
+    tables_v: Vec<f64>,
+    /// States whose child-topic matrix cache must be re-marked stale on
+    /// rollback: the operation's own undo will rewrite their children or
+    /// child topics after the evaluator rolls back.
+    dirty_states: Vec<u32>,
     old_sum: f64,
 }
 
@@ -82,11 +117,22 @@ pub struct Evaluator {
     rep_of_attr: Vec<u32>,
     /// Partition size of each query.
     query_weight: Vec<u32>,
-    /// `reach[q][slot]`: probability of reaching state `slot` while
-    /// searching for query `q`'s topic.
-    reach: Vec<Vec<f64>>,
+    /// Embedding dimensionality.
+    dim: usize,
+    /// Slot count every flattened array is sized for.
+    n_slots: usize,
+    /// Row-major `n_queries × n_slots` reach matrix: `reach[q * n_slots +
+    /// slot]` is the probability of reaching `slot` while searching for
+    /// query `q`'s topic.
+    reach: Vec<f64>,
+    /// Per-slot column sums of `reach`, maintained incrementally so
+    /// reachability (Eq 10) is O(n_slots) per proposal instead of
+    /// O(n_queries × n_slots).
+    reach_sum: Vec<f64>,
     /// `disc[q]`: discovery probability of query `q`'s own attribute.
     disc: Vec<f64>,
+    /// Row-major `n_queries × dim` matrix of query unit topics.
+    query_units: Vec<f32>,
     /// Tables (local ids) containing attributes represented by each query.
     tables_of_query: Vec<Vec<u32>>,
     /// Queries whose representative carries a given local tag.
@@ -94,8 +140,28 @@ pub struct Evaluator {
     /// `P(T | O)` per local table (Eq 5 with representative approximation).
     table_prob: Vec<f64>,
     sum_table_prob: f64,
-    /// Scratch: per-slot "is affected" marker.
+    /// Per-state row-major `n_children × dim` matrix of child unit topics,
+    /// so Eq 1 is one streaming mat-vec instead of a pointer-chase per
+    /// child. Refreshed lazily for dirty states only.
+    child_mats: Vec<Vec<f32>>,
+    /// Slots whose child-topic matrix is stale w.r.t. the organization.
+    child_dirty: Vec<bool>,
+    // --- scratch, reused across apply_delta calls ---
+    /// Per-slot "is affected" marker (doubles as the DFS `seen` set).
     affected_mark: Vec<bool>,
+    /// Dedup set for seed collection (capacity `n_slots`).
+    seed_set: BitSet,
+    /// Dedup set for dirty queries (capacity `n_queries`).
+    dirty_query_set: BitSet,
+    /// Dedup set for dirty tables (capacity `n_tables`).
+    dirty_table_set: BitSet,
+    seeds_scratch: Vec<StateId>,
+    stack_scratch: Vec<StateId>,
+    affected_scratch: Vec<StateId>,
+    active_scratch: Vec<StateId>,
+    sum_scratch: Vec<f64>,
+    dirty_query_scratch: Vec<u32>,
+    dirty_table_scratch: Vec<u32>,
 }
 
 impl Evaluator {
@@ -108,7 +174,9 @@ impl Evaluator {
     ) -> Evaluator {
         assert!(nav.gamma > 0.0, "gamma must be strictly positive (Eq 1)");
         let gamma = nav.gamma;
+        let dim = ctx.dim();
         let mut queries = Vec::with_capacity(reps.reps.len());
+        let mut query_units = Vec::with_capacity(reps.reps.len() * dim);
         for &attr in &reps.reps {
             let a = ctx.attr(attr);
             let mut hops = Vec::with_capacity(a.tags.len());
@@ -116,6 +184,7 @@ impl Evaluator {
                 hops.push((t, final_hop(ctx, gamma, t, attr)));
             }
             queries.push(Query { attr, hops });
+            query_units.extend_from_slice(ctx.attr_unit(attr));
         }
         let mut query_weight = vec![0u32; queries.len()];
         for &q in &reps.rep_of_attr {
@@ -135,19 +204,35 @@ impl Evaluator {
                 queries_of_tag[t as usize].push(qi as u32);
             }
         }
-        let n_slots = org.n_slots();
+        let n_queries = queries.len();
         let mut ev = Evaluator {
             nav,
             queries,
             rep_of_attr: reps.rep_of_attr.clone(),
             query_weight,
+            dim,
+            n_slots: 0,
             reach: Vec::new(),
+            reach_sum: Vec::new(),
             disc: Vec::new(),
+            query_units,
             tables_of_query,
             queries_of_tag,
             table_prob: vec![0.0; ctx.n_tables()],
             sum_table_prob: 0.0,
-            affected_mark: vec![false; n_slots],
+            child_mats: Vec::new(),
+            child_dirty: Vec::new(),
+            affected_mark: Vec::new(),
+            seed_set: BitSet::new(0),
+            dirty_query_set: BitSet::new(n_queries),
+            dirty_table_set: BitSet::new(ctx.n_tables()),
+            seeds_scratch: Vec::new(),
+            stack_scratch: Vec::new(),
+            affected_scratch: Vec::new(),
+            active_scratch: Vec::new(),
+            sum_scratch: Vec::new(),
+            dirty_query_scratch: Vec::new(),
+            dirty_table_scratch: Vec::new(),
         };
         ev.recompute_full(ctx, org);
         ev
@@ -175,19 +260,20 @@ impl Evaluator {
     /// Mean reach probability of every state slot over all queries —
     /// the reachability of Equation 10, used to pick operation targets.
     pub fn reachability(&self) -> Vec<f64> {
-        let n_slots = self.affected_mark.len();
-        let mut out = vec![0.0f64; n_slots];
-        if self.queries.is_empty() {
-            return out;
-        }
-        for r in &self.reach {
-            for (o, v) in out.iter_mut().zip(r.iter()) {
-                *o += *v;
-            }
-        }
-        let inv = 1.0 / self.queries.len() as f64;
-        out.iter_mut().for_each(|v| *v *= inv);
+        let mut out = Vec::new();
+        self.reachability_into(&mut out);
         out
+    }
+
+    /// Allocation-free form of [`reachability`](Self::reachability) for hot
+    /// callers: served from the maintained column sums in O(n_slots).
+    pub fn reachability_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.reach_sum);
+        if !self.queries.is_empty() {
+            let inv = 1.0 / self.queries.len() as f64;
+            out.iter_mut().for_each(|v| *v *= inv);
+        }
     }
 
     /// Number of evaluation queries (representatives).
@@ -195,34 +281,107 @@ impl Evaluator {
         self.queries.len()
     }
 
+    /// One query's reach row (probability of reaching each state slot while
+    /// searching for that query's topic). Exposed for tests / diagnostics.
+    pub fn reach_row(&self, q: usize) -> &[f64] {
+        &self.reach[q * self.n_slots..(q + 1) * self.n_slots]
+    }
+
     /// Full (from scratch) evaluation of the current organization.
+    /// Queries are independent, so their reach rows are recomputed in
+    /// parallel; each row's DP runs in fixed topological order, so results
+    /// are bit-identical for every thread count.
     pub fn recompute_full(&mut self, ctx: &OrgContext, org: &Organization) {
         let n_slots = org.n_slots();
-        self.affected_mark = vec![false; n_slots];
+        let nq = self.queries.len();
+        self.n_slots = n_slots;
+        self.affected_mark.clear();
+        self.affected_mark.resize(n_slots, false);
+        if self.seed_set.capacity() != n_slots {
+            self.seed_set = BitSet::new(n_slots);
+        }
+        // Child-topic matrix cache: refresh every alive interior state now;
+        // everything else is marked stale and refreshed lazily if it ever
+        // gains affected children.
+        self.child_mats.resize_with(n_slots, Vec::new);
+        self.child_dirty.clear();
+        self.child_dirty.resize(n_slots, true);
+        for i in 0..n_slots {
+            let sid = StateId(i as u32);
+            let st = org.state(sid);
+            if st.alive && !st.children.is_empty() {
+                refresh_child_mat(&mut self.child_mats[i], org, sid, self.dim);
+                self.child_dirty[i] = false;
+            } else {
+                self.child_mats[i].clear();
+            }
+        }
+        self.reach.clear();
+        self.reach.resize(nq * n_slots, 0.0);
+        self.disc.clear();
+        self.disc.resize(nq, 0.0);
         let order = org.topo_order();
-        self.reach = vec![vec![0.0; n_slots]; self.queries.len()];
-        self.disc = vec![0.0; self.queries.len()];
-        let mut weights: Vec<f64> = Vec::new();
-        for (qi, q) in self.queries.iter().enumerate() {
-            let unit = &ctx.attr(q.attr).unit_topic;
-            let reach = &mut self.reach[qi];
-            reach[org.root().index()] = 1.0;
-            for &s in &order {
-                let st = org.state(s);
-                if st.children.is_empty() || reach[s.index()] == 0.0 {
-                    continue;
-                }
-                transition_weights(org, self.nav.gamma, s, unit, &mut weights);
-                let r = reach[s.index()];
-                for (&c, &w) in st.children.iter().zip(weights.iter()) {
-                    reach[c.index()] += r * w;
+        let root = org.root();
+        let gamma = self.nav.gamma;
+        let dim = self.dim;
+        {
+            let Evaluator {
+                reach,
+                disc,
+                queries,
+                query_units,
+                child_mats,
+                ..
+            } = self;
+            let queries: &[Query] = queries;
+            let query_units: &[f32] = query_units;
+            let child_mats: &[Vec<f32>] = child_mats;
+            reach
+                .par_chunks_mut(n_slots.max(1))
+                .zip(disc.par_chunks_mut(1))
+                .enumerate()
+                .for_each_init(Vec::new, |weights, (qi, (row, d))| {
+                    let unit = &query_units[qi * dim..(qi + 1) * dim];
+                    row[root.index()] = 1.0;
+                    for &s in order {
+                        let st = org.state(s);
+                        if st.children.is_empty() || row[s.index()] == 0.0 {
+                            continue;
+                        }
+                        weights_from_mat(
+                            &child_mats[s.index()],
+                            st.children.len(),
+                            gamma,
+                            unit,
+                            weights,
+                        );
+                        let r = row[s.index()];
+                        for (&c, &w) in st.children.iter().zip(weights.iter()) {
+                            row[c.index()] += r * w;
+                        }
+                    }
+                    d[0] = queries[qi]
+                        .hops
+                        .iter()
+                        .map(|&(t, hop)| row[org.tag_state(t).index()] * hop)
+                        .sum();
+                });
+        }
+        // Reachability column sums, accumulated in fixed query order — the
+        // same order the incremental path recomputes them in, so cached
+        // sums never drift from a fresh evaluation.
+        self.reach_sum.clear();
+        self.reach_sum.resize(n_slots, 0.0);
+        {
+            let Evaluator {
+                reach, reach_sum, ..
+            } = self;
+            for qi in 0..nq {
+                let row = &reach[qi * n_slots..(qi + 1) * n_slots];
+                for (sum, &v) in reach_sum.iter_mut().zip(row) {
+                    *sum += v;
                 }
             }
-            self.disc[qi] = q
-                .hops
-                .iter()
-                .map(|&(t, hop)| reach[org.tag_state(t).index()] * hop)
-                .sum();
         }
         // Table probabilities.
         self.sum_table_prob = 0.0;
@@ -244,17 +403,235 @@ impl Evaluator {
     /// Incrementally re-evaluate after an operation. `dirty_parents` are
     /// the states whose outgoing transition distribution changed (from
     /// [`crate::ops::OpOutcome`]). Returns an undo token and cost counters.
+    ///
+    /// The affected subgraph and the list of *active parents* (states with
+    /// an affected child, in topological order) are computed once — they
+    /// are query-independent — and the per-query re-propagation then runs
+    /// in parallel over the reach rows.
     pub fn apply_delta(
         &mut self,
         ctx: &OrgContext,
         org: &Organization,
         dirty_parents: &[StateId],
     ) -> (EvalUndo, DeltaStats) {
+        let n_slots = self.n_slots;
+        let nq = self.queries.len();
+        debug_assert_eq!(org.n_slots(), n_slots, "slot count changed; rebuild");
         let mut undo = EvalUndo {
             old_sum: self.sum_table_prob,
             ..Default::default()
         };
         // Affected set: descendants of the dirty parents' children.
+        let mut seeds = std::mem::take(&mut self.seeds_scratch);
+        seeds.clear();
+        for &p in dirty_parents {
+            if !org.state(p).alive {
+                continue;
+            }
+            for &c in &org.state(p).children {
+                if org.state(c).alive && self.seed_set.insert(c.0) {
+                    seeds.push(c);
+                }
+            }
+        }
+        for &c in &seeds {
+            self.seed_set.remove(c.0);
+        }
+        let mut affected = std::mem::take(&mut self.affected_scratch);
+        affected.clear();
+        let mut stack = std::mem::take(&mut self.stack_scratch);
+        org.descendants_of_into(&seeds, &mut self.affected_mark, &mut stack, &mut affected);
+        self.stack_scratch = stack;
+        self.seeds_scratch = seeds;
+        if affected.is_empty() {
+            self.affected_scratch = affected;
+            return (undo, DeltaStats::default());
+        }
+        // The op changed the dirty parents' children or child topics: their
+        // cached child matrices are stale now, and stale again if the op is
+        // rolled back after the refresh below.
+        for &p in dirty_parents {
+            if org.state(p).alive {
+                self.child_dirty[p.index()] = true;
+                undo.dirty_states.push(p.0);
+            }
+        }
+        // Active parents: alive states with an affected child, in
+        // topological order — computed once (the per-query loop used to
+        // rescan the entire order for every query). Stale child matrices
+        // are refreshed here, serially, so the parallel phase below reads
+        // them immutably.
+        let order = org.topo_order();
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        for &p in order {
+            let st = org.state(p);
+            if st.children.is_empty() {
+                continue;
+            }
+            if st.children.iter().any(|c| self.affected_mark[c.index()]) {
+                if self.child_dirty[p.index()] {
+                    refresh_child_mat(&mut self.child_mats[p.index()], org, p, self.dim);
+                    self.child_dirty[p.index()] = false;
+                }
+                active.push(p);
+            }
+        }
+        // Save-and-recompute, one parallel task per query row.
+        let n_aff = affected.len();
+        undo.slots.extend(affected.iter().map(|s| s.0));
+        undo.sum_values
+            .extend(affected.iter().map(|&s| self.reach_sum[s.index()]));
+        undo.reach_values.resize(nq * n_aff, 0.0);
+        let root = org.root();
+        let gamma = self.nav.gamma;
+        let dim = self.dim;
+        {
+            let Evaluator {
+                reach,
+                affected_mark,
+                child_mats,
+                query_units,
+                ..
+            } = self;
+            let mark: &[bool] = affected_mark;
+            let child_mats: &[Vec<f32>] = child_mats;
+            let query_units: &[f32] = query_units;
+            let affected: &[StateId] = &affected;
+            let active: &[StateId] = &active;
+            reach
+                .par_chunks_mut(n_slots.max(1))
+                .zip(undo.reach_values.par_chunks_mut(n_aff))
+                .enumerate()
+                .for_each_init(Vec::new, |weights, (qi, (row, saved))| {
+                    let unit = &query_units[qi * dim..(qi + 1) * dim];
+                    for (k, &s) in affected.iter().enumerate() {
+                        saved[k] = row[s.index()];
+                        row[s.index()] = if s == root { 1.0 } else { 0.0 };
+                    }
+                    for &p in active {
+                        let r = row[p.index()];
+                        if r == 0.0 {
+                            continue;
+                        }
+                        let st = org.state(p);
+                        weights_from_mat(
+                            &child_mats[p.index()],
+                            st.children.len(),
+                            gamma,
+                            unit,
+                            weights,
+                        );
+                        for (&c, &w) in st.children.iter().zip(weights.iter()) {
+                            if mark[c.index()] {
+                                row[c.index()] += r * w;
+                            }
+                        }
+                    }
+                });
+        }
+        // Recompute the affected columns' sums from scratch in query order
+        // (serial, fixed order ⇒ bit-equal to a full evaluation's sums).
+        {
+            let mut sums = std::mem::take(&mut self.sum_scratch);
+            sums.clear();
+            sums.resize(n_aff, 0.0);
+            for qi in 0..nq {
+                let row = &self.reach[qi * n_slots..(qi + 1) * n_slots];
+                for (k, &s) in affected.iter().enumerate() {
+                    sums[k] += row[s.index()];
+                }
+            }
+            for (k, &s) in affected.iter().enumerate() {
+                self.reach_sum[s.index()] = sums[k];
+            }
+            self.sum_scratch = sums;
+        }
+        // Discovery updates: queries whose representative has a tag whose
+        // tag state is affected (bitset-deduplicated).
+        let mut dirty_queries = std::mem::take(&mut self.dirty_query_scratch);
+        dirty_queries.clear();
+        for &s in &affected {
+            if let Some(t) = org.state(s).tag {
+                for &qi in &self.queries_of_tag[t as usize] {
+                    if self.dirty_query_set.insert(qi) {
+                        dirty_queries.push(qi);
+                    }
+                }
+            }
+        }
+        for &qi in &dirty_queries {
+            self.dirty_query_set.remove(qi);
+        }
+        let mut attrs_covered = 0usize;
+        let mut dirty_tables = std::mem::take(&mut self.dirty_table_scratch);
+        dirty_tables.clear();
+        for &qi in &dirty_queries {
+            let q = &self.queries[qi as usize];
+            let row = &self.reach[qi as usize * n_slots..(qi as usize + 1) * n_slots];
+            let new_disc: f64 = q
+                .hops
+                .iter()
+                .map(|&(t, hop)| row[org.tag_state(t).index()] * hop)
+                .sum();
+            if new_disc != self.disc[qi as usize] {
+                undo.disc_q.push(qi);
+                undo.disc_v.push(self.disc[qi as usize]);
+                self.disc[qi as usize] = new_disc;
+                for &t in &self.tables_of_query[qi as usize] {
+                    if self.dirty_table_set.insert(t) {
+                        dirty_tables.push(t);
+                    }
+                }
+            }
+            attrs_covered += self.query_weight[qi as usize] as usize;
+        }
+        for &t in &dirty_tables {
+            self.dirty_table_set.remove(t);
+        }
+        for &t in &dirty_tables {
+            let p = self.compute_table_prob(&ctx.tables()[t as usize]);
+            undo.tables_t.push(t);
+            undo.tables_v.push(self.table_prob[t as usize]);
+            self.sum_table_prob += p - self.table_prob[t as usize];
+            self.table_prob[t as usize] = p;
+        }
+        // Clear markers, hand the scratch buffers back.
+        for &s in &affected {
+            self.affected_mark[s.index()] = false;
+        }
+        let stats = DeltaStats {
+            states_visited: affected.len(),
+            queries_evaluated: dirty_queries.len(),
+            attrs_covered,
+        };
+        self.affected_scratch = affected;
+        self.active_scratch = active;
+        self.dirty_query_scratch = dirty_queries;
+        self.dirty_table_scratch = dirty_tables;
+        (undo, stats)
+    }
+
+    /// The seed revision's incremental evaluation, kept verbatim as an
+    /// honest in-tree baseline for `dln-bench`: uncached Kahn topological
+    /// sort, a full-order rescan per query, a scattered per-child dot
+    /// product per transition, `Vec::contains` deduplication, and the
+    /// triple-per-entry undo log. Semantics (and result bits) are
+    /// identical to [`apply_delta`]; only the constant factors differ.
+    ///
+    /// [`apply_delta`]: Evaluator::apply_delta
+    pub fn apply_delta_uncached(
+        &mut self,
+        ctx: &OrgContext,
+        org: &Organization,
+        dirty_parents: &[StateId],
+    ) -> (EvalUndo, DeltaStats) {
+        let n_slots = self.n_slots;
+        let nq = self.queries.len();
+        let mut undo = EvalUndo {
+            old_sum: self.sum_table_prob,
+            ..Default::default()
+        };
         let mut seeds: Vec<StateId> = Vec::new();
         for &p in dirty_parents {
             if !org.state(p).alive {
@@ -273,40 +650,50 @@ impl Evaluator {
         for &s in &affected {
             self.affected_mark[s.index()] = true;
         }
-        // Parents to process: any alive state with an affected child, in
-        // global topological order (so affected parents are recomputed
-        // before their children consume them).
-        let order = org.topo_order();
+        undo.slots.extend(affected.iter().map(|s| s.0));
+        undo.sum_values
+            .extend(affected.iter().map(|&s| self.reach_sum[s.index()]));
+        let order = org.compute_topo_order();
         let root = org.root();
         let mut weights: Vec<f64> = Vec::new();
-        for (qi, q) in self.queries.iter().enumerate() {
-            let unit = &ctx.attr(q.attr).unit_topic;
-            let reach = &mut self.reach[qi];
-            // Save and zero affected entries.
+        for qi in 0..nq {
+            let attr = self.queries[qi].attr;
+            let unit = &ctx.attr(attr).unit_topic;
+            let row = &mut self.reach[qi * n_slots..(qi + 1) * n_slots];
             for &s in &affected {
-                undo.changed_reach
-                    .push((qi as u32, s.0, reach[s.index()]));
-                reach[s.index()] = if s == root { 1.0 } else { 0.0 };
+                undo.reach_aos.push((qi as u32, s.0, row[s.index()]));
+                row[s.index()] = if s == root { 1.0 } else { 0.0 };
             }
             for &p in &order {
                 let st = org.state(p);
-                if st.children.is_empty() || reach[p.index()] == 0.0 {
+                if st.children.is_empty() || row[p.index()] == 0.0 {
                     continue;
                 }
                 if !st.children.iter().any(|c| self.affected_mark[c.index()]) {
                     continue;
                 }
                 transition_weights(org, self.nav.gamma, p, unit, &mut weights);
-                let r = reach[p.index()];
+                let r = row[p.index()];
                 for (&c, &w) in st.children.iter().zip(weights.iter()) {
                     if self.affected_mark[c.index()] {
-                        reach[c.index()] += r * w;
+                        row[c.index()] += r * w;
                     }
                 }
             }
         }
-        // Discovery updates: queries whose representative has a tag whose
-        // tag state is affected.
+        // Column sums for the affected slots (query order, as everywhere).
+        {
+            let mut sums = vec![0.0f64; affected.len()];
+            for qi in 0..nq {
+                let row = &self.reach[qi * n_slots..(qi + 1) * n_slots];
+                for (k, &s) in affected.iter().enumerate() {
+                    sums[k] += row[s.index()];
+                }
+            }
+            for (k, &s) in affected.iter().enumerate() {
+                self.reach_sum[s.index()] = sums[k];
+            }
+        }
         let mut dirty_queries: Vec<u32> = Vec::new();
         for &s in &affected {
             if let Some(t) = org.state(s).tag {
@@ -320,14 +707,14 @@ impl Evaluator {
         let mut attrs_covered = 0usize;
         let mut dirty_tables: Vec<u32> = Vec::new();
         for &qi in &dirty_queries {
-            let q = &self.queries[qi as usize];
-            let new_disc: f64 = q
+            let new_disc: f64 = self.queries[qi as usize]
                 .hops
                 .iter()
-                .map(|&(t, hop)| self.reach[qi as usize][org.tag_state(t).index()] * hop)
+                .map(|&(t, hop)| self.reach[qi as usize * n_slots + org.tag_state(t).index()] * hop)
                 .sum();
             if new_disc != self.disc[qi as usize] {
-                undo.changed_disc.push((qi, self.disc[qi as usize]));
+                undo.disc_q.push(qi);
+                undo.disc_v.push(self.disc[qi as usize]);
                 self.disc[qi as usize] = new_disc;
                 for &t in &self.tables_of_query[qi as usize] {
                     if !dirty_tables.contains(&t) {
@@ -339,11 +726,11 @@ impl Evaluator {
         }
         for &t in &dirty_tables {
             let p = self.compute_table_prob(&ctx.tables()[t as usize]);
-            undo.changed_tables.push((t, self.table_prob[t as usize]));
+            undo.tables_t.push(t);
+            undo.tables_v.push(self.table_prob[t as usize]);
             self.sum_table_prob += p - self.table_prob[t as usize];
             self.table_prob[t as usize] = p;
         }
-        // Clear markers.
         for &s in &affected {
             self.affected_mark[s.index()] = false;
         }
@@ -359,21 +746,84 @@ impl Evaluator {
     ///
     /// [`apply_delta`]: Evaluator::apply_delta
     pub fn rollback(&mut self, undo: EvalUndo) {
-        for &(q, slot, v) in undo.changed_reach.iter().rev() {
-            self.reach[q as usize][slot as usize] = v;
+        let n_slots = self.n_slots;
+        let n_aff = undo.slots.len();
+        if !undo.reach_aos.is_empty() {
+            // Baseline (AoS) path.
+            for &(q, slot, v) in undo.reach_aos.iter().rev() {
+                self.reach[q as usize * n_slots + slot as usize] = v;
+            }
+        } else if n_aff > 0 {
+            for (qi, saved) in undo.reach_values.chunks_exact(n_aff).enumerate() {
+                let row = &mut self.reach[qi * n_slots..(qi + 1) * n_slots];
+                for (k, &s) in undo.slots.iter().enumerate() {
+                    row[s as usize] = saved[k];
+                }
+            }
         }
-        for &(q, v) in undo.changed_disc.iter().rev() {
+        for (k, &s) in undo.slots.iter().enumerate() {
+            self.reach_sum[s as usize] = undo.sum_values[k];
+        }
+        for (&q, &v) in undo.disc_q.iter().zip(&undo.disc_v) {
             self.disc[q as usize] = v;
         }
-        for &(t, v) in undo.changed_tables.iter().rev() {
+        for (&t, &v) in undo.tables_t.iter().zip(&undo.tables_v) {
             self.table_prob[t as usize] = v;
         }
         self.sum_table_prob = undo.old_sum;
+        // The operation this undo belongs to is itself rolled back: the
+        // child matrices refreshed during the delta go stale again.
+        for &p in &undo.dirty_states {
+            self.child_dirty[p as usize] = true;
+        }
+    }
+}
+
+/// Refresh one state's cached child-topic matrix from the organization
+/// (row-major `n_children × dim`, rows bit-copied from the child unit
+/// topics).
+fn refresh_child_mat(mat: &mut Vec<f32>, org: &Organization, s: StateId, dim: usize) {
+    let st = org.state(s);
+    mat.clear();
+    mat.reserve(st.children.len() * dim);
+    for &c in &st.children {
+        mat.extend_from_slice(&org.state(c).unit_topic);
+    }
+}
+
+/// Transition probabilities (Eq 1) from a cached child-topic matrix: one
+/// streaming mat-vec over contiguous rows instead of a pointer-chase per
+/// child. Arithmetic is element-for-element identical to
+/// [`transition_weights`], so cached and uncached paths agree bit-for-bit.
+fn weights_from_mat(
+    mat: &[f32],
+    n_children: usize,
+    gamma: f32,
+    query_unit: &[f32],
+    out: &mut Vec<f64>,
+) {
+    batch_dot_wide(mat, query_unit, n_children, out);
+    let scale = gamma as f64 / n_children as f64;
+    let mut max_score = f64::NEG_INFINITY;
+    for v in out.iter_mut() {
+        *v *= scale;
+        max_score = max_score.max(*v);
+    }
+    let mut sum = 0.0f64;
+    for v in out.iter_mut() {
+        *v = (*v - max_score).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in out.iter_mut() {
+            *v /= sum;
+        }
     }
 }
 
 /// Transition probabilities from `s` to each of its children for a query
-/// unit vector (Eq 1), written into `out` (parallel to `children`).
+/// unit vector (Eq 1), written into `out` (parallel to `children`),
+/// reading child topics directly from the organization.
 fn transition_weights(
     org: &Organization,
     gamma: f32,
@@ -411,7 +861,7 @@ fn transition_weights(
 fn final_hop(ctx: &OrgContext, gamma: f32, tag: u32, attr: u32) -> f64 {
     let pop = &ctx.tag(tag).attrs;
     debug_assert!(pop.contains(&attr));
-    let unit = &ctx.attr(attr).unit_topic;
+    let unit = ctx.attr_unit(attr);
     let scale = gamma as f64 / pop.len() as f64;
     let mut max_score = f64::NEG_INFINITY;
     let mut scores = Vec::with_capacity(pop.len());
@@ -420,7 +870,7 @@ fn final_hop(ctx: &OrgContext, gamma: f32, tag: u32, attr: u32) -> f64 {
         if b == attr {
             own = i;
         }
-        let s = scale * dot(&ctx.attr(b).unit_topic, unit) as f64;
+        let s = scale * dot(ctx.attr_unit(b), unit) as f64;
         max_score = max_score.max(s);
         scores.push(s);
     }
@@ -457,7 +907,6 @@ pub fn discovery_probs(
     let chunks: Vec<(usize, &mut [f64])> = out.chunks_mut(chunk).enumerate().collect();
     std::thread::scope(|scope| {
         for (ci, slot) in chunks {
-            let order = &order;
             let start = ci * chunk;
             scope.spawn(move || {
                 let mut reach = vec![0.0f64; org.n_slots()];
@@ -465,7 +914,7 @@ pub fn discovery_probs(
                 for (i, o) in slot.iter_mut().enumerate() {
                     let attr = (start + i) as u32;
                     let a = ctx.attr(attr);
-                    let unit = &a.unit_topic;
+                    let unit = ctx.attr_unit(attr);
                     reach.iter_mut().for_each(|r| *r = 0.0);
                     reach[org.root().index()] = 1.0;
                     for &s in order {
@@ -513,6 +962,18 @@ mod tests {
         Evaluator::new(ctx, org, NavConfig::default(), &reps)
     }
 
+    /// Every observable float of the evaluator, as bits.
+    fn fingerprint_bits(ev: &Evaluator, ctx: &OrgContext) -> Vec<u64> {
+        let mut bits = vec![ev.effectiveness().to_bits()];
+        bits.extend((0..ctx.n_attrs() as u32).map(|a| ev.attr_discovery(a).to_bits()));
+        bits.extend((0..ctx.n_tables() as u32).map(|t| ev.table_discovery(t).to_bits()));
+        for q in 0..ev.n_queries() {
+            bits.extend(ev.reach_row(q).iter().map(|v| v.to_bits()));
+        }
+        bits.extend(ev.reachability().iter().map(|v| v.to_bits()));
+        bits
+    }
+
     #[test]
     fn reach_probabilities_are_a_distribution_over_levels() {
         let (ctx, org) = setup();
@@ -520,14 +981,10 @@ mod tests {
         // For each query, the reach of the root is 1 and the total reach
         // of the tag states is ≤ 1 (paths can only lose mass at splits...
         // actually in a tree it is exactly 1).
-        for (qi, _) in ev.queries.iter().enumerate() {
-            let reach = &ev.reach[qi];
+        for qi in 0..ev.n_queries() {
+            let reach = ev.reach_row(qi);
             assert!((reach[org.root().index()] - 1.0).abs() < 1e-12);
-            let leaf_sum: f64 = org
-                .tag_states()
-                .iter()
-                .map(|ts| reach[ts.index()])
-                .sum();
+            let leaf_sum: f64 = org.tag_states().iter().map(|ts| reach[ts.index()]).sum();
             assert!(
                 (leaf_sum - 1.0).abs() < 1e-6,
                 "tree mass conservation: {leaf_sum}"
@@ -560,6 +1017,24 @@ mod tests {
             .sum::<f64>()
             / ctx.n_tables() as f64;
         assert!((ev.effectiveness() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reachability_matches_row_means() {
+        let (ctx, org) = setup();
+        let ev = evaluator(&ctx, &org);
+        let fast = ev.reachability();
+        let nq = ev.n_queries();
+        for (slot, &cached) in fast.iter().enumerate().take(org.n_slots()) {
+            let mean: f64 = (0..nq).map(|q| ev.reach_row(q)[slot]).sum::<f64>() / nq as f64;
+            assert!(
+                (cached - mean).abs() < 1e-12,
+                "slot {slot}: cached {cached} vs direct {mean}"
+            );
+        }
+        let mut buf = vec![99.0f64; 3];
+        ev.reachability_into(&mut buf);
+        assert_eq!(buf, fast);
     }
 
     #[test]
@@ -616,29 +1091,40 @@ mod tests {
         for a in 0..ctx.n_attrs() as u32 {
             assert!((ev.attr_discovery(a) - ev_full.attr_discovery(a)).abs() < 1e-9);
         }
+        // Maintained reachability sums agree with the fresh evaluator's.
+        let (inc, full) = (ev.reachability(), ev_full.reachability());
+        for (a, b) in inc.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-9, "reachability drift: {a} vs {b}");
+        }
     }
 
     #[test]
-    fn delta_rollback_restores_evaluator() {
+    fn delta_rollback_restores_evaluator_bit_for_bit() {
         let (ctx, mut org) = setup();
         let mut ev = evaluator(&ctx, &org);
-        let eff_before = ev.effectiveness();
-        let disc_before: Vec<f64> = (0..ctx.n_attrs() as u32)
-            .map(|a| ev.attr_discovery(a))
-            .collect();
+        let before = fingerprint_bits(&ev, &ctx);
         let reach = ev.reachability();
         let s = org.tag_state(5);
         let out = ops::try_add_parent(&mut org, &ctx, s, &reach).expect("applicable");
         let (undo, _) = ev.apply_delta(&ctx, &org, &out.dirty_parents);
         ev.rollback(undo);
         ops::undo(&mut org, &ctx, out);
-        assert!((ev.effectiveness() - eff_before).abs() < 1e-12);
-        for (a, &d) in disc_before.iter().enumerate() {
-            assert!((ev.attr_discovery(a as u32) - d).abs() < 1e-12);
-        }
+        assert_eq!(
+            fingerprint_bits(&ev, &ctx),
+            before,
+            "rollback must restore every observable bit"
+        );
         // And the evaluator still agrees with a fresh one.
         let fresh = evaluator(&ctx, &org);
         assert!((ev.effectiveness() - fresh.effectiveness()).abs() < 1e-9);
+        // The child-matrix cache was re-marked stale correctly: the next
+        // delta must still match a full recompute.
+        let reach2 = ev.reachability();
+        let s2 = org.tag_state(1);
+        let out2 = ops::try_add_parent(&mut org, &ctx, s2, &reach2).expect("applicable");
+        let (_u, _) = ev.apply_delta(&ctx, &org, &out2.dirty_parents);
+        let fresh2 = evaluator(&ctx, &org);
+        assert!((ev.effectiveness() - fresh2.effectiveness()).abs() < 1e-9);
     }
 
     #[test]
@@ -665,6 +1151,55 @@ mod tests {
             ev.effectiveness(),
             ev_full.effectiveness()
         );
+    }
+
+    #[test]
+    fn uncached_baseline_matches_cached_delta_bitwise() {
+        let (ctx, mut org) = setup();
+        let mut ev_fast = evaluator(&ctx, &org);
+        let mut ev_base = evaluator(&ctx, &org);
+        let before = fingerprint_bits(&ev_fast, &ctx);
+        let reach = ev_fast.reachability();
+        let s = org.tag_state(3);
+        let out = ops::try_add_parent(&mut org, &ctx, s, &reach).expect("applicable");
+        let (u1, st1) = ev_fast.apply_delta(&ctx, &org, &out.dirty_parents);
+        let (u2, st2) = ev_base.apply_delta_uncached(&ctx, &org, &out.dirty_parents);
+        assert_eq!(st1.states_visited, st2.states_visited);
+        assert_eq!(st1.queries_evaluated, st2.queries_evaluated);
+        assert_eq!(
+            fingerprint_bits(&ev_fast, &ctx),
+            fingerprint_bits(&ev_base, &ctx),
+            "cached and baseline deltas must agree bit-for-bit"
+        );
+        // Both rollback paths restore the identical pre-delta state.
+        ev_fast.rollback(u1);
+        ev_base.rollback(u2);
+        assert_eq!(fingerprint_bits(&ev_fast, &ctx), before);
+        assert_eq!(fingerprint_bits(&ev_base, &ctx), before);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (ctx, mut org) = setup();
+        let run = |threads: usize, org: &mut Organization| {
+            rayon::set_num_threads(threads);
+            let mut ev = evaluator(&ctx, org);
+            let reach = ev.reachability();
+            let out = ops::try_add_parent(org, &ctx, org.tag_state(2), &reach).expect("applicable");
+            let (_u, _) = ev.apply_delta(&ctx, org, &out.dirty_parents);
+            let bits = fingerprint_bits(&ev, &ctx);
+            ops::undo(org, &ctx, out);
+            rayon::set_num_threads(0);
+            bits
+        };
+        let serial = run(1, &mut org);
+        for t in [4, 8] {
+            assert_eq!(
+                run(t, &mut org),
+                serial,
+                "results must be bit-identical with {t} threads"
+            );
+        }
     }
 
     #[test]

@@ -23,9 +23,7 @@ pub fn to_dot(ctx: &OrgContext, org: &Organization, max_label_tags: usize) -> St
     let mut out = String::from("digraph organization {\n  rankdir=TB;\n  node [fontsize=10];\n");
     for sid in org.alive_ids() {
         let s = org.state(sid);
-        let label = org
-            .label(ctx, sid, max_label_tags)
-            .replace('"', "'");
+        let label = org.label(ctx, sid, max_label_tags).replace('"', "'");
         let shape = if s.tag.is_some() {
             "box"
         } else if sid == org.root() {
@@ -383,10 +381,7 @@ mod tests {
         // Corrupt a child index to something out of range.
         let corrupted = json.replace("\"children\": [", "\"children\": [99999, ");
         let r = load_json(&ctx, &corrupted);
-        assert!(
-            matches!(r, Err(LoadError::Inconsistent(_))),
-            "got {r:?}"
-        );
+        assert!(matches!(r, Err(LoadError::Inconsistent(_))), "got {r:?}");
     }
 
     #[test]

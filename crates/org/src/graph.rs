@@ -14,6 +14,14 @@
 //! States are stored in a slotted arena; `DELETE_PARENT` tombstones
 //! eliminated states (`alive = false`) instead of reindexing, which keeps
 //! every evaluator array index-stable across operations.
+//!
+//! The topological order and the BFS levels are *cached*: the local search
+//! asks for both on every proposal, but they only change when the edge set
+//! or the alive set changes, so every structural mutation drops the caches
+//! and the next query rebuilds them (see `DESIGN.md`, "Performance
+//! architecture").
+
+use std::sync::OnceLock;
 
 use dln_embed::TopicAccumulator;
 
@@ -60,6 +68,10 @@ pub struct Organization {
     states: Vec<State>,
     /// Tag state of each local tag.
     tag_states: Vec<StateId>,
+    /// Cached topological order; dropped by every structural mutation.
+    topo: OnceLock<Vec<StateId>>,
+    /// Cached BFS levels; dropped by every structural mutation.
+    levels: OnceLock<Vec<u32>>,
 }
 
 impl Organization {
@@ -98,6 +110,8 @@ impl Organization {
             root: StateId(0),
             states,
             tag_states,
+            topo: OnceLock::new(),
+            levels: OnceLock::new(),
         };
         let root = org.add_state(ctx, root_tags, None);
         org.root = root;
@@ -116,10 +130,20 @@ impl Organization {
         &self.states[id.index()]
     }
 
-    /// Mutable access for operation implementations within the crate.
+    /// Drop the order caches after a structural mutation (edge or alive-set
+    /// change, or a slot-count change that invalidates array lengths).
     #[inline]
-    pub(crate) fn state_mut(&mut self, id: StateId) -> &mut State {
-        &mut self.states[id.index()]
+    fn invalidate_order_caches(&mut self) {
+        self.topo = OnceLock::new();
+        self.levels = OnceLock::new();
+    }
+
+    /// Set the alive flag of a state (tombstoning / undo revival).
+    pub(crate) fn set_alive(&mut self, id: StateId, alive: bool) {
+        if self.states[id.index()].alive != alive {
+            self.states[id.index()].alive = alive;
+            self.invalidate_order_caches();
+        }
     }
 
     /// Total number of state slots (alive + tombstoned).
@@ -177,6 +201,7 @@ impl Organization {
         }
         let unit_topic = topic.unit_mean();
         let id = StateId(self.states.len() as u32);
+        self.invalidate_order_caches(); // cached arrays are length n_slots
         self.states.push(State {
             alive: true,
             tag,
@@ -192,16 +217,27 @@ impl Organization {
 
     /// Add edge `parent → child` (no-op if already present).
     ///
+    /// Edge lists are kept sorted by slot id. This canonical order makes
+    /// edge-set restoration (op undo) an exact *order* restoration too,
+    /// which downstream caches rely on: the evaluator's per-state
+    /// child-topic matrices are row-aligned with `children` and stay valid
+    /// across a remove + re-add round trip.
+    ///
     /// Callers must preserve the inclusion property; [`validate`] checks it.
     ///
     /// [`validate`]: Organization::validate
     pub fn add_edge(&mut self, parent: StateId, child: StateId) -> bool {
         debug_assert_ne!(parent, child, "self edge");
-        if self.states[parent.index()].children.contains(&child) {
+        let cs = &mut self.states[parent.index()].children;
+        let Err(ci) = cs.binary_search(&child) else {
             return false;
+        };
+        cs.insert(ci, child);
+        let ps = &mut self.states[child.index()].parents;
+        if let Err(pi) = ps.binary_search(&parent) {
+            ps.insert(pi, parent);
         }
-        self.states[parent.index()].children.push(child);
-        self.states[child.index()].parents.push(parent);
+        self.invalidate_order_caches();
         true
     }
 
@@ -216,6 +252,7 @@ impl Organization {
         if let Some(pi) = ps.iter().position(|&p| p == parent) {
             ps.remove(pi);
         }
+        self.invalidate_order_caches();
         true
     }
 
@@ -274,7 +311,13 @@ impl Organization {
 
     /// Shortest-path level of every state slot from the root (BFS over
     /// alive edges). Dead or unreachable slots get `u32::MAX`.
-    pub fn levels(&self) -> Vec<u32> {
+    ///
+    /// Cached: recomputed only after a structural mutation.
+    pub fn levels(&self) -> &[u32] {
+        self.levels.get_or_init(|| self.compute_levels())
+    }
+
+    fn compute_levels(&self) -> Vec<u32> {
         let mut level = vec![u32::MAX; self.states.len()];
         let mut queue = std::collections::VecDeque::new();
         if self.states[self.root.index()].alive {
@@ -295,7 +338,18 @@ impl Organization {
 
     /// Alive states in a topological order (parents before children),
     /// starting from the root.
-    pub fn topo_order(&self) -> Vec<StateId> {
+    ///
+    /// Cached: recomputed only after a structural mutation. Use
+    /// [`compute_topo_order`](Self::compute_topo_order) to force the
+    /// uncached Kahn pass (benchmark baselines).
+    pub fn topo_order(&self) -> &[StateId] {
+        self.topo.get_or_init(|| self.compute_topo_order())
+    }
+
+    /// The uncached Kahn topological sort (what [`topo_order`] memoizes).
+    ///
+    /// [`topo_order`]: Self::topo_order
+    pub fn compute_topo_order(&self) -> Vec<StateId> {
         let mut indeg = vec![0usize; self.states.len()];
         let mut reachable = vec![false; self.states.len()];
         // Restrict to states reachable from the root.
@@ -363,8 +417,26 @@ impl Organization {
     /// affected subgraph of an operation.
     pub fn descendants_of(&self, roots: &[StateId]) -> Vec<StateId> {
         let mut seen = vec![false; self.states.len()];
+        let mut stack = Vec::new();
         let mut out = Vec::new();
-        let mut stack: Vec<StateId> = Vec::new();
+        self.descendants_of_into(roots, &mut seen, &mut stack, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`descendants_of`](Self::descendants_of) for
+    /// hot callers: `seen` must be an all-false slice of length
+    /// [`n_slots`](Self::n_slots); on return `seen[s]` is true exactly for
+    /// the states appended to `out` (callers reuse it as their own affected
+    /// marker and clear it afterwards). `stack` is scratch and left empty.
+    pub fn descendants_of_into(
+        &self,
+        roots: &[StateId],
+        seen: &mut [bool],
+        stack: &mut Vec<StateId>,
+        out: &mut Vec<StateId>,
+    ) {
+        debug_assert!(seen.len() >= self.states.len());
+        debug_assert!(stack.is_empty());
         for &r in roots {
             if self.states[r.index()].alive && !seen[r.index()] {
                 seen[r.index()] = true;
@@ -380,7 +452,6 @@ impl Organization {
                 }
             }
         }
-        out
     }
 
     /// A human-readable label for a state: the tag label for tag states,
@@ -561,6 +632,46 @@ mod tests {
     }
 
     #[test]
+    fn cached_orders_track_mutations() {
+        let ctx = ctx();
+        let mut org = flat(&ctx);
+        let before = org.topo_order().to_vec();
+        assert_eq!(org.levels().len(), org.n_slots());
+        org.remove_edge(org.root(), org.tag_state(0));
+        assert_eq!(
+            org.topo_order().len(),
+            before.len() - 1,
+            "topo cache must be dropped on edge removal"
+        );
+        assert_eq!(
+            org.levels()[org.tag_state(0).index()],
+            u32::MAX,
+            "levels cache must be dropped on edge removal"
+        );
+        // Re-adding appends the child at the end of root's children list, so
+        // the recomputed order is a (valid) permutation of the original.
+        org.add_edge(org.root(), org.tag_state(0));
+        assert_eq!(org.topo_order().len(), before.len());
+        assert_eq!(org.topo_order()[0], org.root());
+        assert_eq!(org.topo_order(), org.compute_topo_order().as_slice());
+        assert_eq!(org.levels()[org.tag_state(0).index()], 1);
+    }
+
+    #[test]
+    fn descendants_of_into_reuses_buffers() {
+        let ctx = ctx();
+        let org = flat(&ctx);
+        let mut seen = vec![false; org.n_slots()];
+        let mut stack = Vec::new();
+        let mut out = Vec::new();
+        org.descendants_of_into(&[org.root()], &mut seen, &mut stack, &mut out);
+        assert_eq!(out.len(), org.n_alive());
+        assert!(stack.is_empty());
+        assert!(out.iter().all(|s| seen[s.index()]));
+        assert_eq!(out, org.descendants_of(&[org.root()]));
+    }
+
+    #[test]
     fn add_remove_edge_roundtrip() {
         let ctx = ctx();
         let mut org = flat(&ctx);
@@ -577,8 +688,7 @@ mod tests {
         let ctx = ctx();
         let mut org = flat(&ctx);
         // New interior state over tags {0,1}.
-        let tags01 =
-            crate::bitset::BitSet::from_iter_with_capacity(ctx.n_tags(), [0u32, 1]);
+        let tags01 = crate::bitset::BitSet::from_iter_with_capacity(ctx.n_tags(), [0u32, 1]);
         let s = org.add_state(&ctx, tags01, None);
         let before_topic = org.state(s).topic.clone();
         let before_unit = org.state(s).unit_topic.clone();

@@ -41,12 +41,7 @@ pub fn random_org(ctx: &OrgContext, seed: u64) -> Organization {
     let mut rng = StdRng::seed_from_u64(seed);
     // Active forest roots: (state, tag set).
     let mut active: Vec<(StateId, BitSet)> = (0..n as u32)
-        .map(|t| {
-            (
-                org.tag_state(t),
-                BitSet::from_iter_with_capacity(n, [t]),
-            )
-        })
+        .map(|t| (org.tag_state(t), BitSet::from_iter_with_capacity(n, [t])))
         .collect();
     while active.len() > 2 {
         let i = rng.random_range(0..active.len());
@@ -270,10 +265,7 @@ mod tests {
         let mut cnt = 0usize;
         for i in 0..n {
             for j in (i + 1)..n {
-                all += dln_embed::dot(
-                    &ctx.tag(i as u32).unit_topic,
-                    &ctx.tag(j as u32).unit_topic,
-                );
+                all += dln_embed::dot(&ctx.tag(i as u32).unit_topic, &ctx.tag(j as u32).unit_topic);
                 cnt += 1;
             }
         }
@@ -302,7 +294,12 @@ mod tests {
         let org = bisecting_org(&ctx, 7);
         org.validate(&ctx).expect("valid");
         let levels = org.levels();
-        let max = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap();
+        let max = levels
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .max()
+            .copied()
+            .unwrap();
         let n = ctx.n_tags() as f64;
         assert!(
             (max as f64) <= 3.0 * n.log2().ceil(),

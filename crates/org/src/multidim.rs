@@ -201,7 +201,12 @@ pub fn partition_tags(lake: &DataLake, k: usize, seed: u64) -> Vec<Vec<TagId>> {
         return Vec::new();
     }
     let k = k.clamp(1, n);
-    let points = CosinePoints::new(lake.tags().iter().map(|t| t.unit_topic.as_slice()).collect());
+    let points = CosinePoints::new(
+        lake.tags()
+            .iter()
+            .map(|t| t.unit_topic.as_slice())
+            .collect(),
+    );
     let km = KMedoids::fit(&points, k, seed);
     let mut groups = vec![Vec::new(); k];
     for (t, &c) in km.assignments.iter().enumerate() {

@@ -227,9 +227,7 @@ mod tests {
             .iter()
             .find(|(c, _)| org.state(*c).attrs.contains(0))
             .expect("some child holds attr 0");
-        let other = probs
-            .iter()
-            .find(|(c, _)| !org.state(*c).attrs.contains(0));
+        let other = probs.iter().find(|(c, _)| !org.state(*c).attrs.contains(0));
         if let Some(other) = other {
             assert!(
                 holder.1 > other.1,

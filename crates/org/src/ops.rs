@@ -245,7 +245,7 @@ pub fn try_delete_parent(
     }
     // Tombstone.
     for &x in &eliminate {
-        org.state_mut(x).alive = false;
+        org.set_alive(x, false);
         undo.killed.push(x);
     }
     // Rewire.
@@ -272,7 +272,7 @@ pub fn undo(org: &mut Organization, ctx: &OrgContext, outcome: OpOutcome) {
         org.remove_edge(p, c);
     }
     for &x in log.killed.iter().rev() {
-        org.state_mut(x).alive = true;
+        org.set_alive(x, true);
     }
     for &(p, c) in log.removed_edges.iter().rev() {
         org.add_edge(p, c);

@@ -172,12 +172,20 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
     let mut iterations = 0usize;
     let mut accepted = 0usize;
     let mut iter_stats: Vec<IterStats> = Vec::new();
+    // Reachability buffers hoisted out of the proposal loop: the evaluator
+    // serves them from maintained column sums, so the per-proposal cost is
+    // one memcpy instead of an allocation plus an O(queries × slots) scan.
+    let mut reach_sweep: Vec<f64> = Vec::new();
+    let mut reach_now: Vec<f64> = Vec::new();
+    let mut levels: Vec<u32> = Vec::new();
 
     'outer: loop {
-        // One downward sweep: levels recomputed at sweep start, states in
-        // each level ordered by ascending reachability.
-        let levels = org.levels();
-        let reach_sweep = ev.reachability();
+        // One downward sweep: levels snapshotted at sweep start (copied out
+        // of the organization's cache — proposals mutate the DAG mid-sweep),
+        // states in each level ordered by ascending reachability.
+        levels.clear();
+        levels.extend_from_slice(org.levels());
+        ev.reachability_into(&mut reach_sweep);
         let max_level = levels
             .iter()
             .filter(|&&l| l != u32::MAX)
@@ -205,7 +213,7 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
                 iterations += 1;
                 let states_alive = org.n_alive();
                 // Current reachability guides the operation's choices.
-                let reach_now = ev.reachability();
+                ev.reachability_into(&mut reach_now);
                 let first_add: bool = rng.random();
                 let outcome = if first_add {
                     ops::try_add_parent(org, ctx, s, &reach_now)

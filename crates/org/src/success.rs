@@ -84,20 +84,12 @@ impl SuccessCurve {
 /// Per-attribute success probabilities given per-attribute discovery
 /// probabilities (`attr_disc[global attr] = P(A|O)`, 0.0 for attributes the
 /// organization cannot reach).
-pub fn attr_success(
-    lake: &DataLake,
-    attr_disc: &[f64],
-    theta: f32,
-    n_threads: usize,
-) -> Vec<f64> {
+pub fn attr_success(lake: &DataLake, attr_disc: &[f64], theta: f32, n_threads: usize) -> Vec<f64> {
     assert_eq!(attr_disc.len(), lake.n_attrs(), "one prob per attribute");
     let sets = similar_sets(lake, theta, n_threads);
     sets.iter()
         .map(|set| {
-            let miss: f64 = set
-                .iter()
-                .map(|b| 1.0 - attr_disc[b.index()])
-                .product();
+            let miss: f64 = set.iter().map(|b| 1.0 - attr_disc[b.index()]).product();
             1.0 - miss
         })
         .collect()
@@ -196,7 +188,9 @@ mod tests {
     #[test]
     fn curve_is_sorted_and_mean_consistent() {
         let lake = lake();
-        let disc: Vec<f64> = (0..lake.n_attrs()).map(|i| (i % 11) as f64 * 0.02).collect();
+        let disc: Vec<f64> = (0..lake.n_attrs())
+            .map(|i| (i % 11) as f64 * 0.02)
+            .collect();
         let curve = success_curve(&lake, &disc, 0.9, 2);
         assert_eq!(curve.per_table.len(), lake.n_tables());
         for w in curve.per_table.windows(2) {

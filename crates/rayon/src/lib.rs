@@ -1,0 +1,381 @@
+//! A vendored, dependency-free subset of the `rayon` API.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace ships the slice of `rayon` its hot loops actually use:
+//! [`ParallelSliceMut::par_chunks_mut`] plus `zip` / `enumerate` /
+//! `for_each` / `for_each_init` on the resulting indexed iterators.
+//!
+//! Implementation: each combinator is a concrete splittable cursor; a
+//! terminal `for_each` splits the item range into one contiguous span per
+//! worker and drains the spans on `std::thread::scope` threads. There is
+//! no work stealing — the evaluator's per-query items are uniform enough
+//! that static partitioning loses nothing, and contiguous spans keep each
+//! worker streaming over adjacent memory.
+//!
+//! **Determinism:** every item is processed exactly once, with exclusive
+//! access to its chunk, by per-item code identical to the sequential path,
+//! so results are bit-for-bit equal for *any* thread count (including the
+//! inline single-threaded fallback).
+//!
+//! Thread count resolution order: [`set_num_threads`] override, then the
+//! `RAYON_NUM_THREADS` / `DLN_THREADS` environment variables, then
+//! `std::thread::available_parallelism`. Work smaller than
+//! [`MIN_ITEMS_PER_THREAD`] items per worker runs inline.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this many items per would-be worker, `for_each` runs inline —
+/// spawn overhead (~tens of µs) would exceed the work.
+pub const MIN_ITEMS_PER_THREAD: usize = 2;
+
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for subsequent parallel calls (0 clears the
+/// override, falling back to the environment / hardware default). Used by
+/// benchmarks and the thread-count equivalence tests.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The number of workers parallel calls will use: the
+/// [`set_num_threads`] override, else `RAYON_NUM_THREADS`, else
+/// `DLN_THREADS`, else the hardware parallelism.
+pub fn current_num_threads() -> usize {
+    let o = NUM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    for var in ["RAYON_NUM_THREADS", "DLN_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The traits hot loops import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IndexedParallelIterator, ParallelSliceMut};
+}
+
+/// Slices that can be iterated as parallel mutable chunks.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// A splittable cursor over a fixed number of items: the engine behind
+/// every combinator here. `split_at` partitions the remaining items;
+/// `next` drains them sequentially within one worker's span.
+pub trait IndexedParallelIterator: Sized + Send {
+    /// The item type handed to `for_each`.
+    type Item: Send;
+
+    /// Remaining item count.
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into the first `index` items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Produce the next item (sequential drain within a span).
+    fn next_item(&mut self) -> Option<Self::Item>;
+
+    /// Pair this iterator with another, yielding item tuples. Lengths must
+    /// agree for the pairing to cover both sides (mismatches stop at the
+    /// shorter, as with sequential `zip`).
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attach the item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
+    }
+
+    /// Consume every item, in parallel when the work warrants it.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.for_each_init(|| (), |(), item| f(item));
+    }
+
+    /// Like [`for_each`], with per-worker state built by `init` — the
+    /// rayon idiom for reusable scratch buffers.
+    ///
+    /// [`for_each`]: IndexedParallelIterator::for_each
+    fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) + Sync,
+    {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        let workers = current_num_threads()
+            .min(n.div_ceil(MIN_ITEMS_PER_THREAD))
+            .max(1);
+        if workers == 1 {
+            let mut cursor = self;
+            let mut state = init();
+            while let Some(item) = cursor.next_item() {
+                f(&mut state, item);
+            }
+            return;
+        }
+        // Contiguous spans, sized within one item of each other.
+        let mut spans = Vec::with_capacity(workers);
+        let mut rest = self;
+        let mut remaining = n;
+        for w in 0..workers {
+            let take = remaining.div_ceil(workers - w);
+            let (head, tail) = rest.split_at(take);
+            spans.push(head);
+            rest = tail;
+            remaining -= take;
+        }
+        let f = &f;
+        let init = &init;
+        std::thread::scope(|scope| {
+            for mut span in spans {
+                scope.spawn(move || {
+                    let mut state = init();
+                    while let Some(item) = span.next_item() {
+                        f(&mut state, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ParChunksMut {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            ParChunksMut {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        if self.slice.is_empty() {
+            return None;
+        }
+        let at = self.chunk_size.min(self.slice.len());
+        let (head, tail) = std::mem::take(&mut self.slice).split_at_mut(at);
+        self.slice = tail;
+        Some(head)
+    }
+}
+
+/// Pairing of two indexed parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: IndexedParallelIterator, B: IndexedParallelIterator> IndexedParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        match (self.a.next_item(), self.b.next_item()) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// Index-attaching adaptor.
+pub struct Enumerate<I> {
+    inner: I,
+    offset: usize,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Enumerate {
+                inner: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                inner: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn next_item(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next_item()?;
+        let i = self.offset;
+        self.offset += 1;
+        Some((i, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// Tests that touch the global thread-count override must not overlap.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn chunks_cover_slice_once() {
+        let mut v: Vec<u64> = vec![0; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u64;
+            }
+        });
+        // Every element written exactly once, with its chunk index.
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, 1 + (j / 7) as u64);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_aligned_chunks() {
+        let mut a = vec![0u32; 60];
+        let mut b = [0u32; 20];
+        a.par_chunks_mut(3)
+            .zip(b.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for x in ca.iter_mut() {
+                    *x = i as u32;
+                }
+                cb[0] = i as u32 * 10;
+            });
+        assert!(a.iter().enumerate().all(|(j, &x)| x == (j / 3) as u32));
+        assert!(b.iter().enumerate().all(|(j, &x)| x == j as u32 * 10));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let run = |threads: usize| {
+            set_num_threads(threads);
+            let mut v: Vec<f64> = vec![0.0; 997];
+            v.par_chunks_mut(5).enumerate().for_each(|(i, chunk)| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = ((i * 31 + k) as f64).sin();
+                }
+            });
+            set_num_threads(0);
+            v
+        };
+        let serial = run(1);
+        for t in [2, 4, 8] {
+            let par = run(t);
+            assert!(serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn for_each_init_reuses_state_within_span() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let inits = AtomicUsize::new(0);
+        let mut v = [0u8; 64];
+        set_num_threads(4);
+        v.par_chunks_mut(1).for_each_init(
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u8>::new()
+            },
+            |scratch, chunk| {
+                scratch.push(0);
+                chunk[0] = 1;
+            },
+        );
+        set_num_threads(0);
+        assert!(inits.load(Ordering::Relaxed) <= 4, "one init per worker");
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let mut v: Vec<u32> = Vec::new();
+        v.par_chunks_mut(4).for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        set_num_threads(0);
+        assert!(current_num_threads() >= 1);
+    }
+}

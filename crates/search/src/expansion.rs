@@ -182,7 +182,14 @@ mod tests {
         let refs: Vec<&str> = words.iter().map(String::as_str).collect();
         let exp = Expansions::precompute(&refs, &m, ExpansionConfig { k: 2, min_sim: 0.0 });
         assert_eq!(exp.expand(&words[0]).len(), 2);
-        let strict = Expansions::precompute(&refs, &m, ExpansionConfig { k: 10, min_sim: 0.9999 });
+        let strict = Expansions::precompute(
+            &refs,
+            &m,
+            ExpansionConfig {
+                k: 10,
+                min_sim: 0.9999,
+            },
+        );
         assert!(strict.expand(&words[0]).len() <= 10);
     }
 

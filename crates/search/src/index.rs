@@ -86,10 +86,10 @@ impl KeywordSearch {
             let mut len = 0u32;
             for (term, tf) in freqs.drain() {
                 len += tf;
-                postings.entry(term).or_default().push(Posting {
-                    doc: tid.0,
-                    tf,
-                });
+                postings
+                    .entry(term)
+                    .or_default()
+                    .push(Posting { doc: tid.0, tf });
             }
             doc_len[tid.index()] = len;
         }
@@ -153,9 +153,7 @@ impl KeywordSearch {
                     // out-of-index terms go through the retained model.
                     let expanded = if self.postings.contains_key(t) {
                         exp.expand(t)
-                    } else if let Some(v) =
-                        self.model.as_ref().and_then(|m| m.embed(t))
-                    {
+                    } else if let Some(v) = self.model.as_ref().and_then(|m| m.embed(t)) {
                         exp.expand_vector(&dln_embed::normalized(v))
                     } else {
                         Vec::new()
@@ -235,12 +233,7 @@ mod tests {
         );
         let t1 = b.begin_table("city budget");
         b.add_tag(t1, "finance");
-        b.add_attribute(
-            t1,
-            "department",
-            [w(12).as_str(), w(13).as_str()],
-            model,
-        );
+        b.add_attribute(t1, "department", [w(12).as_str(), w(13).as_str()], model);
         b.build()
     }
 
@@ -284,7 +277,10 @@ mod tests {
         let q = format!("{w0} species");
         let hits = engine.search(&q, 10);
         let single = engine.search(w0, 10);
-        assert!(hits[0].score > single[0].score, "two matching terms score higher");
+        assert!(
+            hits[0].score > single[0].score,
+            "two matching terms score higher"
+        );
     }
 
     #[test]

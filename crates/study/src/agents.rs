@@ -196,11 +196,17 @@ impl NavigationAgent {
         let mut dim_order: Vec<usize> = (0..dims.len()).collect();
         dim_order.sort_by(|&a, &b| {
             let sa = dot(
-                &dims[a].organization.state(dims[a].organization.root()).unit_topic,
+                &dims[a]
+                    .organization
+                    .state(dims[a].organization.root())
+                    .unit_topic,
                 &walk_topic,
             );
             let sb = dot(
-                &dims[b].organization.state(dims[b].organization.root()).unit_topic,
+                &dims[b]
+                    .organization
+                    .state(dims[b].organization.root())
+                    .unit_topic,
                 &walk_topic,
             );
             sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
@@ -324,8 +330,8 @@ impl SearchAgent {
                     dln_embed::TokenId(rng.random_range(0..model.vocab().len() as u32))
                 } else {
                     // Rank-biased choice among on-topic candidates.
-                    let idx = (rng.random::<f64>() * rng.random::<f64>()
-                        * candidates.len() as f64) as usize;
+                    let idx = (rng.random::<f64>() * rng.random::<f64>() * candidates.len() as f64)
+                        as usize;
                     candidates[idx.min(candidates.len() - 1)].0
                 };
                 if !query.is_empty() {
@@ -450,7 +456,9 @@ mod tests {
     fn agents_respect_budget_zero() {
         let (lake, model) = setup();
         let sc = scenario(&lake);
-        let built = OrganizerBuilder::new(&lake).max_iters(10).build_clustering();
+        let built = OrganizerBuilder::new(&lake)
+            .max_iters(10)
+            .build_clustering();
         let dims = vec![built];
         let cfg = AgentConfig {
             budget: 0,
@@ -465,7 +473,9 @@ mod tests {
     fn agent_runs_are_deterministic_in_seed() {
         let (lake, _) = setup();
         let sc = scenario(&lake);
-        let built = OrganizerBuilder::new(&lake).max_iters(40).build_clustering();
+        let built = OrganizerBuilder::new(&lake)
+            .max_iters(40)
+            .build_clustering();
         let dims = vec![built];
         let cfg = AgentConfig {
             budget: 80,

@@ -30,5 +30,8 @@ pub mod unified;
 pub use agents::{AgentConfig, NavigationAgent, Scenario, SearchAgent};
 pub use metrics::{disjointness, mean_pairwise_disjointness, overlap_fraction};
 pub use stats::{mann_whitney_u, median, MannWhitney};
-pub use study::{calibrated_scenario, default_scenario, run_study, scenario_from_seed, ModalityResult, StudyConfig, StudyReport};
+pub use study::{
+    calibrated_scenario, default_scenario, run_study, scenario_from_seed, ModalityResult,
+    StudyConfig, StudyReport,
+};
 pub use unified::UnifiedSession;

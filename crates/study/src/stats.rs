@@ -154,7 +154,10 @@ mod tests {
     fn degenerate_inputs_return_none() {
         assert!(mann_whitney_u(&[], &[1.0]).is_none());
         assert!(mann_whitney_u(&[1.0], &[]).is_none());
-        assert!(mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]).is_none(), "all tied");
+        assert!(
+            mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]).is_none(),
+            "all tied"
+        );
     }
 
     #[test]

@@ -209,12 +209,7 @@ pub fn scenario_from_seed(
 
 /// Choose a coherent scenario for a lake: the most popular tag plus its
 /// `n − 1` nearest tags by topic cosine.
-pub fn default_scenario(
-    lake: &DataLake,
-    label: &str,
-    n_tags: usize,
-    threshold: f32,
-) -> Scenario {
+pub fn default_scenario(lake: &DataLake, label: &str, n_tags: usize, threshold: f32) -> Scenario {
     let seed_tag = lake
         .tag_ids()
         .max_by_key(|&t| lake.tag(t).attrs.len())
@@ -253,12 +248,16 @@ pub fn run_study(
     };
     let org2 = MultiDimOrganization::build(lake2, &md_cfg);
     let org3 = MultiDimOrganization::build(lake3, &md_cfg);
-    let engine2 = KeywordSearch::build_with_expansion(lake2, model.clone(), ExpansionConfig::default());
-    let engine3 = KeywordSearch::build_with_expansion(lake3, model.clone(), ExpansionConfig::default());
+    let engine2 =
+        KeywordSearch::build_with_expansion(lake2, model.clone(), ExpansionConfig::default());
+    let engine3 =
+        KeywordSearch::build_with_expansion(lake3, model.clone(), ExpansionConfig::default());
     // Difficulty-matched scenarios (the latin-square design assumes the
     // two scenarios are comparable; the paper vetted this with experts).
-    let scenario2 = calibrated_scenario(lake2, "scenario-2", cfg.scenario_tags, cfg.target_relevant);
-    let scenario3 = calibrated_scenario(lake3, "scenario-3", cfg.scenario_tags, cfg.target_relevant);
+    let scenario2 =
+        calibrated_scenario(lake2, "scenario-2", cfg.scenario_tags, cfg.target_relevant);
+    let scenario3 =
+        calibrated_scenario(lake3, "scenario-3", cfg.scenario_tags, cfg.target_relevant);
 
     // Latin-square blocks: (nav lake, search lake) alternating with order;
     // order is immaterial for agents but the lake assignment is balanced.
@@ -306,7 +305,11 @@ pub fn run_study(
         search_sets_by_scenario[s_idx].push(s_verified);
     }
     // Rejection counts (collected minus verified).
-    let nav_kept_total: usize = nav_sets_by_scenario.iter().flatten().map(BTreeSet::len).sum();
+    let nav_kept_total: usize = nav_sets_by_scenario
+        .iter()
+        .flatten()
+        .map(BTreeSet::len)
+        .sum();
     let search_kept_total: usize = search_sets_by_scenario
         .iter()
         .flatten()
@@ -316,16 +319,10 @@ pub fn run_study(
     let search_rejected = search_raw_total - search_kept_total;
 
     // Per-technique samples.
-    let nav_found_all: Vec<BTreeSet<TableId>> = nav_sets_by_scenario
-        .iter()
-        .flatten()
-        .cloned()
-        .collect();
-    let search_found_all: Vec<BTreeSet<TableId>> = search_sets_by_scenario
-        .iter()
-        .flatten()
-        .cloned()
-        .collect();
+    let nav_found_all: Vec<BTreeSet<TableId>> =
+        nav_sets_by_scenario.iter().flatten().cloned().collect();
+    let search_found_all: Vec<BTreeSet<TableId>> =
+        search_sets_by_scenario.iter().flatten().cloned().collect();
     let nav_counts: Vec<f64> = nav_found_all.iter().map(|s| s.len() as f64).collect();
     let search_counts: Vec<f64> = search_found_all.iter().map(|s| s.len() as f64).collect();
     // Disjointness per scenario per technique, pooled (the paper computes
@@ -363,7 +360,11 @@ pub fn run_study(
     let h1 = mann_whitney_u(&nav_counts, &search_counts);
     let h2 = mann_whitney_u(&nav_disj, &search_disj);
     let max_nav_found = nav_found_all.iter().map(BTreeSet::len).max().unwrap_or(0);
-    let max_search_found = search_found_all.iter().map(BTreeSet::len).max().unwrap_or(0);
+    let max_search_found = search_found_all
+        .iter()
+        .map(BTreeSet::len)
+        .max()
+        .unwrap_or(0);
     StudyReport {
         nav: ModalityResult {
             n_found: nav_counts,

@@ -100,9 +100,7 @@ impl<'a> UnifiedSession<'a> {
                     let cand = (di, t, coverage, pop);
                     let better = match &best {
                         None => true,
-                        Some((_, _, bc, bp)) => {
-                            coverage > *bc || (coverage == *bc && pop < *bp)
-                        }
+                        Some((_, _, bc, bp)) => coverage > *bc || (coverage == *bc && pop < *bp),
                     };
                     if better {
                         best = Some(cand);
@@ -124,11 +122,7 @@ impl<'a> UnifiedSession<'a> {
     /// the similarity stops improving. Returns the reached state, or
     /// `None` when the query has no embeddable token or there are no
     /// dimensions.
-    pub fn pivot_to_query<M: EmbeddingModel>(
-        &mut self,
-        query: &str,
-        model: &M,
-    ) -> Option<StateId> {
+    pub fn pivot_to_query<M: EmbeddingModel>(&mut self, query: &str, model: &M) -> Option<StateId> {
         let mut acc = TopicAccumulator::new(model.dim());
         for tok in dln_embed::tokenize(query) {
             if let Some(v) = model.embed(&tok) {
@@ -160,10 +154,7 @@ impl<'a> UnifiedSession<'a> {
         let dim = &self.dims[di];
         let mut nav = dim.navigator();
         loop {
-            let here = dot(
-                &dim.organization.state(nav.current()).unit_topic,
-                &unit,
-            );
+            let here = dot(&dim.organization.state(nav.current()).unit_topic, &unit);
             let Some((best, _)) = nav
                 .transition_probs(&unit)
                 .into_iter()
@@ -329,12 +320,21 @@ mod tests {
     fn pivot_to_query_descends_toward_topic() {
         let f = fixture();
         let mut session = UnifiedSession::new(&f.lake, &f.engine, &f.md.dims);
+        // Pick a stored value the model can embed: `pivot_to_query` is
+        // documented to return `None` for queries with no embeddable token,
+        // and whether the *first* stored value is a numeric (unembeddable)
+        // string depends on the generator's RNG stream.
         let word = f
             .lake
             .attrs()
             .iter()
-            .find_map(|a| a.values.first())
-            .expect("stored values")
+            .flat_map(|a| a.values.iter())
+            .find(|v| {
+                dln_embed::tokenize(v)
+                    .iter()
+                    .any(|t| f.model.embed(t).is_some())
+            })
+            .expect("some stored value embeds")
             .clone();
         let state = session
             .pivot_to_query(&word, &f.model)
@@ -399,6 +399,8 @@ mod tests {
         let wide = session.tables_here();
         assert!(!wide.is_empty());
         let scoped = session.search_here(&word, 10);
-        assert!(scoped.iter().all(|h| wide.iter().any(|(t, _)| *t == h.table)));
+        assert!(scoped
+            .iter()
+            .all(|h| wide.iter().any(|(t, _)| *t == h.table)));
     }
 }

@@ -153,7 +153,10 @@ impl SocrataConfig {
     /// Generate the lake.
     pub fn generate(&self) -> SocrataLake {
         assert!(self.n_topics >= 2, "need at least two topics");
-        assert!(self.n_tags >= self.n_topics, "need at least one tag per topic");
+        assert!(
+            self.n_tags >= self.n_topics,
+            "need at least one tag per topic"
+        );
         let model = SyntheticEmbedding::new(&SyntheticEmbeddingConfig {
             vocab: VocabularyConfig {
                 n_topics: self.n_topics,
@@ -294,11 +297,7 @@ impl SocrataLake {
             if table.tags.is_empty() {
                 continue;
             }
-            let n_side1 = table
-                .tags
-                .iter()
-                .filter(|t| side_of_tag[t.index()])
-                .count();
+            let n_side1 = table.tags.iter().filter(|t| side_of_tag[t.index()]).count();
             let to_side1 = n_side1 * 2 > table.tags.len();
             let b = if to_side1 {
                 &mut builders.1
@@ -334,7 +333,9 @@ pub fn matches_paper_shape(lake: &DataLake, scale: f64, tolerance: f64) -> Resul
         if rel <= tolerance {
             Ok(())
         } else {
-            Err(format!("{name}: got {got:.0}, want ≈{want:.0} (rel err {rel:.2})"))
+            Err(format!(
+                "{name}: got {got:.0}, want ≈{want:.0} (rel err {rel:.2})"
+            ))
         }
     };
     check("tables", stats.n_tables as f64, expect_tables)?;
@@ -407,11 +408,7 @@ mod tests {
         let tags2: std::collections::HashSet<&str> =
             l2.tags().iter().map(|t| t.label.as_str()).collect();
         for t in l3.tags() {
-            assert!(
-                !tags2.contains(t.label.as_str()),
-                "shared tag {}",
-                t.label
-            );
+            assert!(!tags2.contains(t.label.as_str()), "shared tag {}", t.label);
         }
         // Tables partitioned without loss (tables with ≥1 tag).
         assert!(l2.n_tables() + l3.n_tables() <= s.lake.n_tables());

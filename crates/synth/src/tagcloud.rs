@@ -22,8 +22,7 @@
 //! (the `enriched 2-dim` series of Figure 2a).
 
 use dln_embed::{
-    dot, SyntheticEmbedding, SyntheticEmbeddingConfig, TokenId, TopicAccumulator,
-    VocabularyConfig,
+    dot, SyntheticEmbedding, SyntheticEmbeddingConfig, TokenId, TopicAccumulator, VocabularyConfig,
 };
 use dln_lake::{DataLake, LakeBuilder, TagId};
 use rand::rngs::StdRng;
@@ -324,7 +323,10 @@ mod tests {
         let b = bench();
         assert_eq!(b.lake.n_attrs(), 200);
         assert!(b.lake.n_tags() <= 30);
-        assert!(b.lake.n_tables() >= 10, "Zipf table sizes imply many tables");
+        assert!(
+            b.lake.n_tables() >= 10,
+            "Zipf table sizes imply many tables"
+        );
         assert_eq!(b.true_tag.len(), b.lake.n_attrs());
     }
 

@@ -51,10 +51,19 @@ fn main() -> std::io::Result<()> {
             w(1, 1)
         ),
     )?;
-    std::fs::write(dir.join("fish_inspections.tags"), "fisheries\nfood safety\n")?;
+    std::fs::write(
+        dir.join("fish_inspections.tags"),
+        "fisheries\nfood safety\n",
+    )?;
     std::fs::write(
         dir.join("crop_yields.csv"),
-        format!("crop,region\n{},{}\n{},{}\n", w(2, 0), w(3, 0), w(2, 1), w(3, 1)),
+        format!(
+            "crop,region\n{},{}\n{},{}\n",
+            w(2, 0),
+            w(3, 0),
+            w(2, 1),
+            w(3, 1)
+        ),
     )?;
     std::fs::write(dir.join("crop_yields.tags"), "agriculture\n")?;
     std::fs::write(
@@ -69,7 +78,11 @@ fn main() -> std::io::Result<()> {
     println!("{}", lake.stats());
     println!();
     for t in lake.tables() {
-        let tags: Vec<&str> = t.tags.iter().map(|tg| lake.tag(*tg).label.as_str()).collect();
+        let tags: Vec<&str> = t
+            .tags
+            .iter()
+            .map(|tg| lake.tag(*tg).label.as_str())
+            .collect();
         println!(
             "table `{}`: {} text attributes, tags = [{}]",
             t.name,
@@ -79,7 +92,9 @@ fn main() -> std::io::Result<()> {
     }
 
     // Organize and evaluate.
-    let built = OrganizerBuilder::new(&lake).max_iters(100).build_optimized();
+    let built = OrganizerBuilder::new(&lake)
+        .max_iters(100)
+        .build_optimized();
     println!(
         "\norganization over {} tags: effectiveness = {:.3}",
         built.ctx.n_tags(),

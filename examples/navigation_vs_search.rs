@@ -72,7 +72,10 @@ fn main() {
     for t in nav_ok.iter().take(8) {
         println!("  {}", lake.table(*t).name);
     }
-    println!("\nkeyword search found {} relevant tables:", search_ok.len());
+    println!(
+        "\nkeyword search found {} relevant tables:",
+        search_ok.len()
+    );
     for t in search_ok.iter().take(8) {
         println!("  {}", lake.table(*t).name);
     }

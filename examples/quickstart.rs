@@ -22,7 +22,10 @@ fn main() {
     );
 
     // 2. Build organizations.
-    let builder = OrganizerBuilder::new(lake).gamma(20.0).seed(7).max_iters(400);
+    let builder = OrganizerBuilder::new(lake)
+        .gamma(20.0)
+        .seed(7)
+        .max_iters(400);
     let flat = builder.build_flat();
     let clustering = builder.build_clustering();
     let optimized = builder.build_optimized();
@@ -53,7 +56,10 @@ fn main() {
     // 5. Navigate: walk toward the topic of the first attribute.
     let query = lake.attr(AttrId(0)).unit_topic.clone();
     let mut nav = optimized.navigator();
-    println!("\nnavigating toward the topic of attribute `{}`:", lake.attr(AttrId(0)).name);
+    println!(
+        "\nnavigating toward the topic of attribute `{}`:",
+        lake.attr(AttrId(0)).name
+    );
     for _ in 0..32 {
         let probs = nav.transition_probs(&query);
         let Some((best, p)) = probs
@@ -69,6 +75,10 @@ fn main() {
     let tables = nav.tables_here();
     println!("  tables at this state:");
     for (tid, n_attrs) in tables.iter().take(5) {
-        println!("    {} ({} matching attributes)", lake.table(*tid).name, n_attrs);
+        println!(
+            "    {} ({} matching attributes)",
+            lake.table(*tid).name,
+            n_attrs
+        );
     }
 }

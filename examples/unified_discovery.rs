@@ -68,7 +68,10 @@ fn main() {
         "\n[browse] backtracked to {}",
         session.position_label().unwrap()
     );
-    println!("  the wider shelf has {} tables", session.tables_here().len());
+    println!(
+        "  the wider shelf has {} tables",
+        session.tables_here().len()
+    );
 
     // 4. Scoped search: the same query, restricted to this neighbourhood.
     let scoped = session.search_here(&probe_value, 5);

@@ -32,12 +32,9 @@ fn diamond(ctx: &OrgContext) -> Organization {
     let mut org = Organization::with_tag_states(ctx);
     let half = n / 2;
     // A holds tags 0..=half, B holds tags {0} ∪ (half+1..n): tag 0 shared.
-    let a_tags =
-        BitSet::from_iter_with_capacity(n, (0..=half as u32).collect::<Vec<_>>());
-    let b_tags = BitSet::from_iter_with_capacity(
-        n,
-        std::iter::once(0u32).chain(half as u32 + 1..n as u32),
-    );
+    let a_tags = BitSet::from_iter_with_capacity(n, (0..=half as u32).collect::<Vec<_>>());
+    let b_tags =
+        BitSet::from_iter_with_capacity(n, std::iter::once(0u32).chain(half as u32 + 1..n as u32));
     let a = org.add_state(ctx, a_tags, None);
     let b = org.add_state(ctx, b_tags, None);
     org.add_edge(org.root(), a);
@@ -76,28 +73,22 @@ fn reach_probability_sums_over_paths() {
     // Take the first attribute of tag 0 as the query and recompute by hand.
     let attr = ctx.tag(0).attrs[0];
     let unit = ctx.attr(attr).unit_topic.clone();
-    let manual_trans = |parent: datalake_nav::org::StateId,
-                        child: datalake_nav::org::StateId|
-     -> f64 {
-        let children = &org.state(parent).children;
-        let scale = nav.gamma as f64 / children.len() as f64;
-        let scores: Vec<f64> = children
-            .iter()
-            .map(|&c| {
-                scale * datalake_nav::embed::dot(&org.state(c).unit_topic, &unit) as f64
-            })
-            .collect();
-        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
-        let total: f64 = exps.iter().sum();
-        let idx = children.iter().position(|&c| c == child).expect("child");
-        exps[idx] / total
-    };
+    let manual_trans =
+        |parent: datalake_nav::org::StateId, child: datalake_nav::org::StateId| -> f64 {
+            let children = &org.state(parent).children;
+            let scale = nav.gamma as f64 / children.len() as f64;
+            let scores: Vec<f64> = children
+                .iter()
+                .map(|&c| scale * datalake_nav::embed::dot(&org.state(c).unit_topic, &unit) as f64)
+                .collect();
+            let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+            let total: f64 = exps.iter().sum();
+            let idx = children.iter().position(|&c| c == child).expect("child");
+            exps[idx] / total
+        };
     let root = org.root();
-    let (a, b) = (
-        org.state(root).children[0],
-        org.state(root).children[1],
-    );
+    let (a, b) = (org.state(root).children[0], org.state(root).children[1]);
     let shared = org.tag_state(0);
     let expected = manual_trans(root, a) * manual_trans(a, shared)
         + manual_trans(root, b) * manual_trans(b, shared);
@@ -110,9 +101,7 @@ fn reach_probability_sums_over_paths() {
     let scale = nav.gamma as f64 / pop.len() as f64;
     let scores: Vec<f64> = pop
         .iter()
-        .map(|&bb| {
-            scale * datalake_nav::embed::dot(&ctx.attr(bb).unit_topic, &unit) as f64
-        })
+        .map(|&bb| scale * datalake_nav::embed::dot(&ctx.attr(bb).unit_topic, &unit) as f64)
         .collect();
     let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();

@@ -1,12 +1,18 @@
-//! Property-based tests over the core invariants:
+//! Property-based tests over the core invariants (seeded random cases
+//! generated with the in-workspace `rand`; the registry-hosted `proptest`
+//! crate is unavailable in this build environment, so the harness below
+//! drives each property over many deterministic random cases itself):
 //!
 //! * organizations stay structurally valid under arbitrary op sequences;
-//! * op undo restores the organization exactly;
-//! * the incremental evaluator always agrees with a fresh full evaluation;
+//! * op undo restores the organization exactly, and evaluator rollback
+//!   restores every observable float bit-for-bit;
+//! * the incremental parallel evaluator always agrees with a fresh serial
+//!   full evaluation to 1e-9, at 1, 4, and 8 threads;
 //! * bitsets behave like `BTreeSet<u32>`;
 //! * Zipf sampling stays in range; Mann–Whitney U invariants hold.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
 use datalake_nav::org::{
@@ -47,77 +53,151 @@ fn org_fingerprint(org: &Organization) -> Vec<FingerprintRow> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Every observable evaluator float, as exact bits.
+fn eval_bits(ev: &Evaluator, ctx: &OrgContext) -> Vec<u64> {
+    let mut bits = vec![ev.effectiveness().to_bits()];
+    bits.extend((0..ctx.n_attrs() as u32).map(|a| ev.attr_discovery(a).to_bits()));
+    bits.extend((0..ctx.n_tables() as u32).map(|t| ev.table_discovery(t).to_bits()));
+    for q in 0..ev.n_queries() {
+        bits.extend(ev.reach_row(q).iter().map(|v| v.to_bits()));
+    }
+    bits.extend(ev.reachability().iter().map(|v| v.to_bits()));
+    bits
+}
 
-    #[test]
-    fn ops_preserve_validity_and_evaluator_consistency(
-        steps in proptest::collection::vec((0u8..2, 0u16..1000, any::<bool>()), 1..12)
-    ) {
-        let ctx = small_ctx();
-        let mut org = clustering_org(&ctx);
-        let reps = Representatives::exact(&ctx);
-        let nav = NavConfig::default();
-        let mut ev = Evaluator::new(&ctx, &org, nav, &reps);
-        for (kind, target_raw, keep) in steps {
-            let targets: Vec<_> = org.alive_ids().filter(|&s| s != org.root()).collect();
-            let target = targets[target_raw as usize % targets.len()];
-            let reach = ev.reachability();
-            let before = org_fingerprint(&org);
-            let outcome = if kind == 0 {
-                ops::try_add_parent(&mut org, &ctx, target, &reach)
-            } else {
-                ops::try_delete_parent(&mut org, &ctx, target, &reach)
-            };
-            let Some(outcome) = outcome else { continue };
-            // Validity after every applied op.
-            org.validate(&ctx).expect("valid after op");
-            let (undo_ev, _) = ev.apply_delta(&ctx, &org, &outcome.dirty_parents);
-            // Incremental evaluation agrees with a fresh evaluator.
-            let fresh = Evaluator::new(&ctx, &org, nav, &reps);
-            prop_assert!((ev.effectiveness() - fresh.effectiveness()).abs() < 1e-9);
-            if keep {
-                continue;
-            }
-            // Rollback restores both the graph and the evaluator.
-            ev.rollback(undo_ev);
-            ops::undo(&mut org, &ctx, outcome);
-            prop_assert_eq!(org_fingerprint(&org), before);
-            let fresh2 = Evaluator::new(&ctx, &org, nav, &reps);
-            prop_assert!((ev.effectiveness() - fresh2.effectiveness()).abs() < 1e-9);
+/// One random `(kind, target_raw, keep)` op-sequence case.
+fn random_steps(rng: &mut StdRng) -> Vec<(u8, u16, bool)> {
+    let len = rng.random_range(1..12usize);
+    (0..len)
+        .map(|_| {
+            (
+                rng.random_range(0..2u32) as u8,
+                rng.random_range(0..1000u32) as u16,
+                rng.random::<bool>(),
+            )
+        })
+        .collect()
+}
+
+/// Drive one op sequence; after every applied delta, check the incremental
+/// parallel evaluator against a fresh serial full evaluation, and after
+/// every rollback check bit-for-bit restoration of graph and evaluator.
+fn check_op_sequence(ctx: &OrgContext, steps: &[(u8, u16, bool)]) -> Vec<u64> {
+    let mut org = clustering_org(ctx);
+    let reps = Representatives::exact(ctx);
+    let nav = NavConfig::default();
+    let mut ev = Evaluator::new(ctx, &org, nav, &reps);
+    for &(kind, target_raw, keep) in steps {
+        let targets: Vec<_> = org.alive_ids().filter(|&s| s != org.root()).collect();
+        let target = targets[target_raw as usize % targets.len()];
+        let reach = ev.reachability();
+        let before_org = org_fingerprint(&org);
+        let before_ev = eval_bits(&ev, ctx);
+        let outcome = if kind == 0 {
+            ops::try_add_parent(&mut org, ctx, target, &reach)
+        } else {
+            ops::try_delete_parent(&mut org, ctx, target, &reach)
+        };
+        let Some(outcome) = outcome else { continue };
+        // Validity after every applied op.
+        org.validate(ctx).expect("valid after op");
+        let (undo_ev, _) = ev.apply_delta(ctx, &org, &outcome.dirty_parents);
+        // Incremental evaluation agrees with a fresh (serially summed)
+        // full evaluation.
+        let fresh = Evaluator::new(ctx, &org, nav, &reps);
+        assert!(
+            (ev.effectiveness() - fresh.effectiveness()).abs() < 1e-9,
+            "incremental {} vs fresh {}",
+            ev.effectiveness(),
+            fresh.effectiveness()
+        );
+        for a in 0..ctx.n_attrs() as u32 {
+            assert!(
+                (ev.attr_discovery(a) - fresh.attr_discovery(a)).abs() < 1e-9,
+                "attr {a} drifted"
+            );
         }
+        if keep {
+            continue;
+        }
+        // Rollback restores the graph exactly and the evaluator bit-for-bit.
+        ev.rollback(undo_ev);
+        ops::undo(&mut org, ctx, outcome);
+        assert_eq!(org_fingerprint(&org), before_org, "op undo must be exact");
+        assert_eq!(
+            eval_bits(&ev, ctx),
+            before_ev,
+            "evaluator rollback must restore every bit"
+        );
+    }
+    eval_bits(&ev, ctx)
+}
+
+#[test]
+fn ops_preserve_validity_and_evaluator_consistency() {
+    let ctx = small_ctx();
+    let mut rng = StdRng::seed_from_u64(0xDA7A_1AEE);
+    for _case in 0..16 {
+        let steps = random_steps(&mut rng);
+        check_op_sequence(&ctx, &steps);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn op_sequences_are_thread_count_invariant() {
+    // The evaluator fans out over queries; the final state must be
+    // bit-identical whether it ran on 1, 4, or 8 threads.
+    let ctx = small_ctx();
+    let mut rng = StdRng::seed_from_u64(0x7EAD_C0DE);
+    for _case in 0..4 {
+        let steps = random_steps(&mut rng);
+        rayon::set_num_threads(1);
+        let serial = check_op_sequence(&ctx, &steps);
+        for threads in [4usize, 8] {
+            rayon::set_num_threads(threads);
+            let parallel = check_op_sequence(&ctx, &steps);
+            assert_eq!(serial, parallel, "results changed with {threads} threads");
+        }
+        rayon::set_num_threads(0); // back to the environment default
+    }
+}
 
-    #[test]
-    fn bitset_behaves_like_btreeset(values in proptest::collection::vec(0u32..200, 0..64)) {
+#[test]
+fn bitset_behaves_like_btreeset() {
+    let mut rng = StdRng::seed_from_u64(0xB17_5E7);
+    for _case in 0..64 {
+        let n = rng.random_range(0..64usize);
+        let values: Vec<u32> = (0..n).map(|_| rng.random_range(0..200u32)).collect();
         let mut bs = datalake_nav::org::BitSet::new(200);
         let mut reference = BTreeSet::new();
         for v in &values {
-            prop_assert_eq!(bs.insert(*v), reference.insert(*v));
+            assert_eq!(bs.insert(*v), reference.insert(*v));
         }
-        prop_assert_eq!(bs.len(), reference.len());
+        assert_eq!(bs.len(), reference.len());
         let collected: Vec<u32> = bs.iter().collect();
         let expected: Vec<u32> = reference.iter().copied().collect();
-        prop_assert_eq!(collected, expected);
+        assert_eq!(collected, expected);
         for v in 0..200u32 {
-            prop_assert_eq!(bs.contains(v), reference.contains(&v));
+            assert_eq!(bs.contains(v), reference.contains(&v));
         }
         // Removal round-trip.
         for v in &values {
-            prop_assert_eq!(bs.remove(*v), reference.remove(v));
+            assert_eq!(bs.remove(*v), reference.remove(v));
         }
-        prop_assert!(bs.is_empty());
+        assert!(bs.is_empty());
     }
+}
 
-    #[test]
-    fn bitset_union_is_set_union(
-        a in proptest::collection::vec(0u32..128, 0..40),
-        b in proptest::collection::vec(0u32..128, 0..40),
-    ) {
+#[test]
+fn bitset_union_is_set_union() {
+    let mut rng = StdRng::seed_from_u64(0x0111_0111);
+    for _case in 0..64 {
+        let a: Vec<u32> = (0..rng.random_range(0..40usize))
+            .map(|_| rng.random_range(0..128u32))
+            .collect();
+        let b: Vec<u32> = (0..rng.random_range(0..40usize))
+            .map(|_| rng.random_range(0..128u32))
+            .collect();
         let mut x = datalake_nav::org::BitSet::from_iter_with_capacity(128, a.iter().copied());
         let y = datalake_nav::org::BitSet::from_iter_with_capacity(128, b.iter().copied());
         let sa: BTreeSet<u32> = a.iter().copied().collect();
@@ -125,64 +205,88 @@ proptest! {
         x.union_with(&y);
         let got: BTreeSet<u32> = x.iter().collect();
         let want: BTreeSet<u32> = sa.union(&sb).copied().collect();
-        prop_assert_eq!(got, want);
-        prop_assert!(x.is_superset_of(&y));
+        assert_eq!(got, want);
+        assert!(x.is_superset_of(&y));
     }
+}
 
-    #[test]
-    fn zipf_samples_stay_in_support(n in 1usize..200, s in 0.0f64..3.0, seed in any::<u64>()) {
-        use rand::SeedableRng;
+#[test]
+fn zipf_samples_stay_in_support() {
+    let mut rng = StdRng::seed_from_u64(0x21BF);
+    for _case in 0..64 {
+        let n = rng.random_range(1..200usize);
+        let s = rng.random::<f64>() * 3.0;
         let z = Zipf::new(n, s);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sample_rng = StdRng::seed_from_u64(rng.random::<u64>());
         for _ in 0..50 {
-            let v = z.sample(&mut rng);
-            prop_assert!((1..=n).contains(&v));
+            let v = z.sample(&mut sample_rng);
+            assert!((1..=n).contains(&v));
         }
-        prop_assert!(z.mean() >= 1.0 && z.mean() <= n as f64);
+        assert!(z.mean() >= 1.0 && z.mean() <= n as f64);
     }
+}
 
-    #[test]
-    fn mann_whitney_u_complementarity(
-        a in proptest::collection::vec(-100.0f64..100.0, 1..20),
-        b in proptest::collection::vec(-100.0f64..100.0, 1..20),
-    ) {
+#[test]
+fn mann_whitney_u_complementarity() {
+    let mut rng = StdRng::seed_from_u64(0x3A33);
+    for _case in 0..64 {
+        let a: Vec<f64> = (0..rng.random_range(1..20usize))
+            .map(|_| rng.random::<f64>() * 200.0 - 100.0)
+            .collect();
+        let b: Vec<f64> = (0..rng.random_range(1..20usize))
+            .map(|_| rng.random::<f64>() * 200.0 - 100.0)
+            .collect();
         if let Some(mw) = mann_whitney_u(&a, &b) {
-            prop_assert!((mw.u1 + mw.u2 - (a.len() * b.len()) as f64).abs() < 1e-6);
-            prop_assert!((0.0..=1.0).contains(&mw.p_value));
+            assert!((mw.u1 + mw.u2 - (a.len() * b.len()) as f64).abs() < 1e-6);
+            assert!((0.0..=1.0).contains(&mw.p_value));
             // Symmetry: swapping samples swaps U statistics.
             let swapped = mann_whitney_u(&b, &a).unwrap();
-            prop_assert!((mw.u1 - swapped.u2).abs() < 1e-6);
-            prop_assert!((mw.p_value - swapped.p_value).abs() < 1e-9);
+            assert!((mw.u1 - swapped.u2).abs() < 1e-6);
+            assert!((mw.p_value - swapped.p_value).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn topic_accumulator_merge_unmerge_roundtrip(
-        xs in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 0..8),
-        ys in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 0..8),
-    ) {
+#[test]
+fn topic_accumulator_merge_unmerge_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xACC);
+    let random_vecs = |rng: &mut StdRng| -> Vec<Vec<f32>> {
+        let n = rng.random_range(0..8usize);
+        (0..n)
+            .map(|_| (0..4).map(|_| rng.random::<f32>() * 10.0 - 5.0).collect())
+            .collect()
+    };
+    for _case in 0..64 {
+        let xs = random_vecs(&mut rng);
+        let ys = random_vecs(&mut rng);
         let mut a = TopicAccumulator::new(4);
-        for x in &xs { a.add(x); }
+        for x in &xs {
+            a.add(x);
+        }
         let before_mean = a.mean();
         let before_count = a.count();
         let mut b = TopicAccumulator::new(4);
-        for y in &ys { b.add(y); }
+        for y in &ys {
+            b.add(y);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), xs.len() as u64 + ys.len() as u64);
+        assert_eq!(a.count(), xs.len() as u64 + ys.len() as u64);
         a.unmerge(&b);
-        prop_assert_eq!(a.count(), before_count);
+        assert_eq!(a.count(), before_count);
         for (m1, m2) in a.mean().iter().zip(&before_mean) {
-            prop_assert!((m1 - m2).abs() < 1e-3);
+            assert!((m1 - m2).abs() < 1e-3);
         }
     }
+}
 
-    #[test]
-    fn cosine_bounds_and_symmetry(
-        a in proptest::collection::vec(-10.0f32..10.0, 8),
-        b in proptest::collection::vec(-10.0f32..10.0, 8),
-    ) {
+#[test]
+fn cosine_bounds_and_symmetry() {
+    let mut rng = StdRng::seed_from_u64(0xC05);
+    for _case in 0..64 {
+        let a: Vec<f32> = (0..8).map(|_| rng.random::<f32>() * 20.0 - 10.0).collect();
+        let b: Vec<f32> = (0..8).map(|_| rng.random::<f32>() * 20.0 - 10.0).collect();
         let c = cosine(&a, &b);
-        prop_assert!((-1.0..=1.0).contains(&c));
-        prop_assert!((c - cosine(&b, &a)).abs() < 1e-6);
+        assert!((-1.0..=1.0).contains(&c));
+        assert!((c - cosine(&b, &a)).abs() < 1e-6);
     }
 }
