@@ -1,0 +1,242 @@
+//! Local-search performance benchmark: emits `BENCH_search.json`.
+//!
+//! Measures, on a TagCloud lake:
+//!
+//! 1. **Construction front-end timings** at a sweep of thread counts:
+//!    context admission scan (`OrgContext::full`) and the agglomerative
+//!    initial organization (`clustering_org`, dominated by the pairwise
+//!    distance matrix) — the phases parallelized by this revision;
+//! 2. **Search wall-clock** of [`optimize`] for speculative batch widths
+//!    `B ∈ {1, 2, 4, 8}` at each thread count, with a fixed proposal
+//!    budget so the per-configuration work is comparable;
+//! 3. The serial reference walk ([`optimize_reference`]) as the A/B
+//!    baseline, and the single-worker overhead of `B > 1` relative to
+//!    `B = 1` (the lazy resolution path must stay cheap on small hosts).
+//!
+//! Flags: `--attrs <n>` target attribute count (default 800), `--seed <n>`,
+//! `--iters <n>` proposal budget per run (default 200), `--out <path>`
+//! JSON output path (default `BENCH_search.json`).
+//!
+//! [`optimize`]: dln_org::search::optimize
+//! [`optimize_reference`]: dln_org::search::optimize_reference
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dln_org::search::{optimize, optimize_reference, SearchConfig, SearchStats};
+use dln_org::{clustering_org, random_org, OrgContext};
+use dln_synth::TagCloudConfig;
+
+struct Args {
+    attrs: usize,
+    seed: u64,
+    iters: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        attrs: 800,
+        seed: 42,
+        iters: 200,
+        out: "BENCH_search.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |j: usize| -> &str {
+            argv.get(j).map(|s| s.as_str()).unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", argv[j - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--attrs" => {
+                args.attrs = need(i + 1).parse().expect("--attrs: integer");
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = need(i + 1).parse().expect("--seed: integer");
+                i += 2;
+            }
+            "--iters" => {
+                args.iters = need(i + 1).parse().expect("--iters: integer");
+                i += 2;
+            }
+            "--out" => {
+                args.out = need(i + 1).to_string();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("flags: --attrs <n> --seed <n> --iters <n> --out <path>");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One timed optimize run with a fixed proposal budget (plateau disabled so
+/// every configuration performs the same number of proposals).
+fn timed_search(ctx: &OrgContext, seed: u64, iters: usize, batch: usize) -> (f64, SearchStats) {
+    let cfg = SearchConfig {
+        max_iters: iters,
+        plateau_iters: iters.max(1),
+        batch_size: batch,
+        seed,
+        ..Default::default()
+    };
+    let mut org = random_org(ctx, seed ^ 0x0A11);
+    let start = Instant::now();
+    let stats = optimize(ctx, &mut org, &cfg);
+    (start.elapsed().as_secs_f64(), stats)
+}
+
+fn main() {
+    let args = parse_args();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "generating TagCloud lake (~{} attrs), host parallelism {host_threads} ...",
+        args.attrs
+    );
+    let bench = TagCloudConfig {
+        n_tags: (args.attrs / 12).max(16),
+        n_attrs_target: args.attrs,
+        store_values: false,
+        seed: args.seed,
+        ..TagCloudConfig::small()
+    }
+    .generate();
+    let ctx = OrgContext::full(&bench.lake);
+    if ctx.n_tags() == 0 || ctx.n_attrs() == 0 {
+        eprintln!("error: --attrs {} produced an empty lake", args.attrs);
+        std::process::exit(2);
+    }
+    eprintln!(
+        "context: {} attrs, {} tags, {} tables",
+        ctx.n_attrs(),
+        ctx.n_tags(),
+        ctx.n_tables()
+    );
+
+    let sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= host_threads.max(1))
+        .collect();
+
+    // 1. Construction front-end: context build + clustering init.
+    let mut init_lines = Vec::new();
+    for &threads in &sweep {
+        rayon::set_num_threads(threads);
+        let start = Instant::now();
+        let ctx_t = OrgContext::full(&bench.lake);
+        let ctx_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let org = clustering_org(&ctx_t);
+        let clus_secs = start.elapsed().as_secs_f64();
+        eprintln!(
+            "init @ {threads} thread(s): context {:.1} ms, clustering ({} slots) {:.1} ms",
+            ctx_secs * 1e3,
+            org.n_slots(),
+            clus_secs * 1e3
+        );
+        init_lines.push(format!(
+            "    {{ \"threads\": {threads}, \"context_seconds\": {ctx_secs:.6}, \"clustering_seconds\": {clus_secs:.6} }}"
+        ));
+    }
+
+    // 2. Serial reference walk (A/B baseline), one worker.
+    rayon::set_num_threads(1);
+    let ref_cfg = SearchConfig {
+        max_iters: args.iters,
+        plateau_iters: args.iters.max(1),
+        batch_size: 1,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let mut ref_org = random_org(&ctx, args.seed ^ 0x0A11);
+    let start = Instant::now();
+    let ref_stats = optimize_reference(&ctx, &mut ref_org, &ref_cfg);
+    let ref_secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "reference serial walk: {:.1} ms for {} proposals",
+        ref_secs * 1e3,
+        ref_stats.iterations
+    );
+
+    // 3. Batched search across B × threads.
+    let batches = [1usize, 2, 4, 8];
+    let mut search_lines = Vec::new();
+    let mut b1_t1 = f64::NAN;
+    let mut worst_overhead = f64::NAN;
+    for &batch in &batches {
+        for &threads in &sweep {
+            rayon::set_num_threads(threads);
+            let (secs, stats) = timed_search(&ctx, args.seed, args.iters, batch);
+            eprintln!(
+                "optimize B={batch} @ {threads} thread(s): {:.1} ms, {} proposals, {} accepted, {} cancelled speculations",
+                secs * 1e3,
+                stats.iterations,
+                stats.accepted,
+                stats.speculative_evals
+            );
+            if batch == 1 && threads == 1 {
+                b1_t1 = secs;
+            }
+            if batch > 1 && threads == 1 {
+                let overhead = secs / b1_t1;
+                if worst_overhead.is_nan() || overhead > worst_overhead {
+                    worst_overhead = overhead;
+                }
+            }
+            search_lines.push(format!(
+                "    {{ \"batch\": {batch}, \"threads\": {threads}, \"seconds\": {secs:.6}, \"iterations\": {}, \"accepted\": {}, \"speculative_evals\": {}, \"final_effectiveness\": {:.9} }}",
+                stats.iterations, stats.accepted, stats.speculative_evals, stats.final_effectiveness
+            ));
+        }
+    }
+    rayon::set_num_threads(0); // restore the environment default
+    eprintln!(
+        "single-worker batching overhead (worst B>1 vs B=1): {:.3}x",
+        worst_overhead
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"search\",");
+    let _ = writeln!(
+        json,
+        "  \"lake\": {{ \"generator\": \"tagcloud\", \"n_attrs\": {}, \"n_tags\": {}, \"n_tables\": {}, \"seed\": {} }},",
+        ctx.n_attrs(),
+        ctx.n_tags(),
+        ctx.n_tables(),
+        args.seed
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"proposal_budget\": {},", args.iters);
+    let _ = writeln!(json, "  \"init\": [");
+    let _ = writeln!(json, "{}", init_lines.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"reference_serial\": {{ \"seconds\": {ref_secs:.6}, \"iterations\": {}, \"final_effectiveness\": {:.9} }},",
+        ref_stats.iterations, ref_stats.final_effectiveness
+    );
+    let _ = writeln!(json, "  \"search\": [");
+    let _ = writeln!(json, "{}", search_lines.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"single_worker_batch_overhead_worst\": {worst_overhead:.4}"
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write BENCH_search.json");
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+}

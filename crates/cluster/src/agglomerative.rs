@@ -9,7 +9,57 @@
 //! `n + i`, and merges are sorted by non-decreasing linkage distance with
 //! child ids relabelled accordingly.
 
-use crate::distance::PairwiseDistance;
+use crate::distance::{pairwise_matrix_into, PairwiseDistance};
+
+/// Row length below which the nearest-neighbour scan stays serial: a row-min
+/// over fewer elements costs well under the ~tens of µs a scoped-thread
+/// spawn does, so fanning out would *lose* time. The working matrix for a
+/// row this long is ≥16 GiB, so in practice the parallel scan only engages
+/// on hosts (and inputs) where it genuinely pays; the chunked reduction is
+/// nevertheless exact at any chunk count (see [`nearest_active_chunked`]),
+/// so the gate is a pure performance choice.
+const PAR_ROWMIN_MIN_N: usize = 65_536;
+
+/// Nearest active neighbour of `x` within `row` (its distance-matrix row):
+/// returns `(argmin, min)` where `argmin` is the **lowest** index attaining
+/// the strict minimum over active `y != x`, split into `n_chunks` contiguous
+/// spans scanned concurrently. The spans' partial results are folded in
+/// fixed span order with a strict `<`, so the winner is the global
+/// first-index minimum for *any* chunk count — bit-identical to the serial
+/// left-to-right scan. Returns `(usize::MAX, ∞)` when nothing is active.
+fn nearest_active_chunked(row: &[f32], active: &[bool], x: usize, n_chunks: usize) -> (usize, f32) {
+    let n = row.len();
+    let scan = |lo: usize, hi: usize| {
+        let mut best = usize::MAX;
+        let mut best_d = f32::INFINITY;
+        for y in lo..hi {
+            if y == x || !active[y] {
+                continue;
+            }
+            let dy = row[y];
+            if dy < best_d {
+                best_d = dy;
+                best = y;
+            }
+        }
+        (best, best_d)
+    };
+    if n_chunks <= 1 {
+        return scan(0, n);
+    }
+    let n_chunks = n_chunks.min(n.max(1));
+    let chunk = n.div_ceil(n_chunks);
+    let partial = rayon::par_map(n_chunks, |c| scan(c * chunk, ((c + 1) * chunk).min(n)));
+    let mut best = usize::MAX;
+    let mut best_d = f32::INFINITY;
+    for (b, bd) in partial {
+        if b != usize::MAX && bd < best_d {
+            best_d = bd;
+            best = b;
+        }
+    }
+    (best, best_d)
+}
 
 /// One merge step of a dendrogram: `a` and `b` are child node ids (leaf if
 /// `< n_leaves`, else internal node `n_leaves + i`).
@@ -45,17 +95,13 @@ impl Dendrogram {
                 merges: Vec::new(),
             };
         }
-        // Working distance matrix (full symmetric, row-major). The merged
+        // Working distance matrix (full symmetric, row-major), built in
+        // parallel across rows when workers are available (bit-identical to
+        // the serial triangle loop — see `pairwise_matrix_into`). The merged
         // cluster reuses the lower slot; `repr` keeps one leaf per active
         // slot so merges can be relabelled after sorting.
-        let mut d = vec![0.0f32; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = points.dist(i, j);
-                d[i * n + j] = v;
-                d[j * n + i] = v;
-            }
-        }
+        let mut d = Vec::new();
+        pairwise_matrix_into(points, &mut d);
         let mut active = vec![true; n];
         let mut size = vec![1u32; n];
         let repr: Vec<u32> = (0..n as u32).collect();
@@ -78,19 +124,24 @@ impl Dendrogram {
                 } else {
                     None
                 };
-                let mut best = usize::MAX;
-                let mut best_d = f32::INFINITY;
-                for y in 0..n {
-                    if y == x || !active[y] {
-                        continue;
-                    }
-                    let dy = d[x * n + y];
-                    if dy < best_d || (dy == best_d && Some(y) == prev) {
-                        best_d = dy;
-                        best = y;
+                let row = &d[x * n..(x + 1) * n];
+                let workers = rayon::current_num_threads();
+                let n_chunks = if workers > 1 && n >= PAR_ROWMIN_MIN_N {
+                    workers
+                } else {
+                    1
+                };
+                let (mut best, best_d) = nearest_active_chunked(row, &active, x, n_chunks);
+                debug_assert_ne!(best, usize::MAX);
+                // The serial scan preferred the previous chain element on
+                // exact ties with the minimum (so reciprocal pairs
+                // terminate); apply the same override to the first-index
+                // minimum the chunked scan returns.
+                if let Some(p) = prev {
+                    if p != x && active[p] && row[p] == best_d {
+                        best = p;
                     }
                 }
-                debug_assert_ne!(best, usize::MAX);
                 if Some(best) == prev {
                     // Reciprocal nearest neighbours: merge x and best.
                     chain.pop();
@@ -349,5 +400,68 @@ mod tests {
         let a = Dendrogram::average_linkage(&line_points());
         let b = Dendrogram::average_linkage(&line_points());
         assert_eq!(a.merges(), b.merges());
+    }
+
+    #[test]
+    fn chunked_row_min_matches_serial_scan_for_any_chunk_count() {
+        // Pseudo-random row with deliberate duplicated minima, plus a
+        // changing active mask — the chunked reduction must always return
+        // the first-index strict minimum the serial scan does.
+        let mut state = 0x5EEDu64;
+        let n = 237;
+        let row: Vec<f32> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) % 32) as f32 / 16.0 // few distinct values → many ties
+            })
+            .collect();
+        for case in 0..8usize {
+            let active: Vec<bool> = (0..n).map(|y| (y + case) % 3 != 0).collect();
+            let x = (case * 31) % n;
+            let serial = nearest_active_chunked(&row, &active, x, 1);
+            for chunks in 2..=7 {
+                let par = nearest_active_chunked(&row, &active, x, chunks);
+                assert_eq!(par.0, serial.0, "argmin diverged at {chunks} chunks");
+                assert_eq!(par.1.to_bits(), serial.1.to_bits());
+            }
+        }
+        // Fully inactive row.
+        let inactive = vec![false; n];
+        assert_eq!(nearest_active_chunked(&row, &inactive, 0, 4).0, usize::MAX);
+    }
+
+    #[test]
+    fn dendrogram_identical_across_thread_counts() {
+        // Exercises the parallel pairwise-matrix build inside
+        // average_linkage (the row-min gate needs enormous inputs; its
+        // reduction is covered by the chunk test above).
+        let mut state = 0xACE5u64;
+        let coords: Vec<f32> = (0..150)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 100.0
+            })
+            .collect();
+        let n = coords.len();
+        let mut d = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (coords[i] - coords[j]).abs();
+            }
+        }
+        let m = MatrixDistance::new(n, d);
+        rayon::set_num_threads(1);
+        let serial = Dendrogram::average_linkage(&m);
+        rayon::set_num_threads(0);
+        for t in [2usize, 4, 8] {
+            rayon::set_num_threads(t);
+            let par = Dendrogram::average_linkage(&m);
+            rayon::set_num_threads(0);
+            assert_eq!(par.merges(), serial.merges(), "diverged at {t} threads");
+        }
     }
 }

@@ -20,6 +20,14 @@ use rand::{RngExt, SeedableRng};
 
 use crate::distance::PairwiseDistance;
 
+/// Minimum number of distance evaluations in an assignment / medoid-update
+/// step before it fans out over the worker pool — below this the scoped
+/// spawn overhead outweighs the arithmetic. Results are identical either
+/// way: per-point work is independent, and every reduction (the assignment
+/// cost sum, the per-cluster argmin) is folded serially in fixed index
+/// order.
+const PAR_MIN_DIST_EVALS: usize = 1 << 14;
+
 /// Result of a k-medoids run.
 #[derive(Clone, Debug)]
 pub struct KMedoids {
@@ -76,21 +84,7 @@ impl KMedoids {
                 if group.is_empty() {
                     continue;
                 }
-                let mut best = medoids[c];
-                let mut best_cost = f64::INFINITY;
-                for &cand in group {
-                    let mut s = 0.0f64;
-                    for &m in group {
-                        s += points.dist(cand, m) as f64;
-                        if s >= best_cost {
-                            break;
-                        }
-                    }
-                    if s < best_cost {
-                        best_cost = s;
-                        best = cand;
-                    }
-                }
+                let best = update_medoid(points, group, medoids[c]);
                 if best != medoids[c] {
                     medoids[c] = best;
                     changed = true;
@@ -164,10 +158,61 @@ fn seed_plus_plus<D: PairwiseDistance>(points: &D, k: usize, rng: &mut StdRng) -
     medoids
 }
 
+/// New medoid of one cluster: the first member (in group order) minimizing
+/// the sum of distances to every member.
+///
+/// The serial path walks candidates with a running partial sum and breaks
+/// out as soon as the partial exceeds the incumbent; since distances are
+/// non-negative, a broken-off candidate's full sum can only be larger, so
+/// the early exit never changes the winner. The parallel path therefore
+/// computes every candidate's *full* sum concurrently (one candidate per
+/// `par_map` index, member terms added in group order) and picks the first
+/// strict minimum serially — the same argmin, for any worker count.
+fn update_medoid<D: PairwiseDistance>(points: &D, group: &[usize], incumbent: usize) -> usize {
+    let g = group.len();
+    let mut best = incumbent;
+    let mut best_cost = f64::INFINITY;
+    if rayon::current_num_threads() > 1 && g * g >= PAR_MIN_DIST_EVALS {
+        let sums = rayon::par_map(g, |i| {
+            let cand = group[i];
+            group
+                .iter()
+                .map(|&m| points.dist(cand, m) as f64)
+                .sum::<f64>()
+        });
+        for (i, &s) in sums.iter().enumerate() {
+            if s < best_cost {
+                best_cost = s;
+                best = group[i];
+            }
+        }
+    } else {
+        for &cand in group {
+            let mut s = 0.0f64;
+            for &m in group {
+                s += points.dist(cand, m) as f64;
+                if s >= best_cost {
+                    break;
+                }
+            }
+            if s < best_cost {
+                best_cost = s;
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
 /// Assign every point to its nearest medoid; returns the total cost.
+///
+/// The per-point nearest-medoid scans are independent, so they fan out over
+/// the worker pool when the work warrants it; the cost is then summed
+/// serially in point order, making the result bit-identical to the serial
+/// loop at any thread count.
 fn assign<D: PairwiseDistance>(points: &D, medoids: &[usize], out: &mut [usize]) -> f64 {
-    let mut cost = 0.0f64;
-    for (p, slot) in out.iter_mut().enumerate().take(points.len()) {
+    let n = points.len();
+    let nearest = |p: usize| {
         let mut best = 0usize;
         let mut best_d = f32::INFINITY;
         for (c, &m) in medoids.iter().enumerate() {
@@ -177,8 +222,21 @@ fn assign<D: PairwiseDistance>(points: &D, medoids: &[usize], out: &mut [usize])
                 best = c;
             }
         }
-        *slot = best;
-        cost += best_d as f64;
+        (best, best_d)
+    };
+    let mut cost = 0.0f64;
+    if rayon::current_num_threads() > 1 && n.saturating_mul(medoids.len()) >= PAR_MIN_DIST_EVALS {
+        let results = rayon::par_map(n, nearest);
+        for (slot, (best, best_d)) in out.iter_mut().zip(results) {
+            *slot = best;
+            cost += best_d as f64;
+        }
+    } else {
+        for (p, slot) in out.iter_mut().enumerate().take(n) {
+            let (best, best_d) = nearest(p);
+            *slot = best;
+            cost += best_d as f64;
+        }
     }
     cost
 }
@@ -285,5 +343,43 @@ mod tests {
         let km = KMedoids::fit(&d, 2, 1);
         assert_eq!(km.k(), 2);
         assert!(km.cost.abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Sized so k = 3 pushes the medoid update over the parallel gate
+        // (group² ≳ 2^14) and k = 40 pushes the assignment step over it
+        // (n·k ≳ 2^14); both must match the single-thread run exactly.
+        let mut state = 0xBEEFu64;
+        let coords: Vec<f32> = (0..600)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 50.0
+            })
+            .collect();
+        let n = coords.len();
+        let mut d = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = (coords[i] - coords[j]).abs();
+            }
+        }
+        let m = MatrixDistance::new(n, d);
+        for k in [3usize, 40] {
+            rayon::set_num_threads(1);
+            let serial = KMedoids::fit(&m, k, 9);
+            rayon::set_num_threads(0);
+            for t in [2usize, 4] {
+                rayon::set_num_threads(t);
+                let par = KMedoids::fit(&m, k, 9);
+                rayon::set_num_threads(0);
+                assert_eq!(par.assignments, serial.assignments, "k={k}, t={t}");
+                assert_eq!(par.medoids, serial.medoids, "k={k}, t={t}");
+                assert_eq!(par.cost.to_bits(), serial.cost.to_bits(), "k={k}, t={t}");
+                assert_eq!(par.iterations, serial.iterations, "k={k}, t={t}");
+            }
+        }
     }
 }

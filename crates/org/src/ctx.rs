@@ -86,14 +86,15 @@ impl OrgContext {
             tag_of_global.entry(tg).or_insert(next);
         }
         // Collect attributes with ≥1 group tag and a usable topic vector.
-        let mut attr_of_global: HashMap<AttrId, u32> = HashMap::new();
-        let mut attrs: Vec<LocalAttr> = Vec::new();
-        let mut table_of_global: HashMap<TableId, u32> = HashMap::new();
-        let mut tables: Vec<LocalTable> = Vec::new();
-        for aid in lake.attr_ids() {
-            let a = lake.attr(aid);
-            if !a.has_topic() {
-                continue;
+        // The admission test (topic present + group-tag projection) is a
+        // pure read per attribute, so it fans out over the worker pool; the
+        // id-assigning assembly below then walks the results in lake order,
+        // so local ids are identical at any thread count.
+        let lake_attrs: Vec<AttrId> = lake.attr_ids().collect();
+        let admitted: Vec<Option<Vec<u32>>> = rayon::par_map(lake_attrs.len(), |i| {
+            let aid = lake_attrs[i];
+            if !lake.attr(aid).has_topic() {
+                return None;
             }
             let local_tags: Vec<u32> = lake
                 .attr_tags(aid)
@@ -101,8 +102,20 @@ impl OrgContext {
                 .filter_map(|tg| tag_of_global.get(tg).copied())
                 .collect();
             if local_tags.is_empty() {
-                continue;
+                None
+            } else {
+                Some(local_tags)
             }
+        });
+        let mut attr_of_global: HashMap<AttrId, u32> = HashMap::new();
+        let mut attrs: Vec<LocalAttr> = Vec::new();
+        let mut table_of_global: HashMap<TableId, u32> = HashMap::new();
+        let mut tables: Vec<LocalTable> = Vec::new();
+        for (&aid, local_tags) in lake_attrs.iter().zip(admitted) {
+            let Some(local_tags) = local_tags else {
+                continue;
+            };
+            let a = lake.attr(aid);
             let local_table = *table_of_global.entry(a.table).or_insert_with(|| {
                 tables.push(LocalTable {
                     global: a.table,

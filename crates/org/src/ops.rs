@@ -282,6 +282,43 @@ pub fn undo(org: &mut Organization, ctx: &OrgContext, outcome: OpOutcome) {
     }
 }
 
+/// The §3.3 proposal at `s`: try one operation, falling back to the other
+/// when it has no legal move. `first_add` picks the order (the search draws
+/// it uniformly per proposal). Deterministic given the organization, the
+/// reachability snapshot and `first_add`.
+pub fn propose(
+    org: &mut Organization,
+    ctx: &OrgContext,
+    s: StateId,
+    reachability: &[f64],
+    first_add: bool,
+) -> Option<OpOutcome> {
+    if first_add {
+        try_add_parent(org, ctx, s, reachability)
+            .or_else(|| try_delete_parent(org, ctx, s, reachability))
+    } else {
+        try_delete_parent(org, ctx, s, reachability)
+            .or_else(|| try_add_parent(org, ctx, s, reachability))
+    }
+}
+
+/// Apply a *specific* operation kind at `s` — used to replay a drafted
+/// speculation on the master organization (or a worker replica): with the
+/// same organization bits and the same reachability snapshot, the outcome
+/// is bit-identical to the speculative application that chose `kind`.
+pub fn try_op(
+    org: &mut Organization,
+    ctx: &OrgContext,
+    s: StateId,
+    reachability: &[f64],
+    kind: OpKind,
+) -> Option<OpOutcome> {
+    match kind {
+        OpKind::AddParent => try_add_parent(org, ctx, s, reachability),
+        OpKind::DeleteParent => try_delete_parent(org, ctx, s, reachability),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

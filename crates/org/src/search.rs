@@ -12,13 +12,29 @@
 //! terminates "once the effectiveness of an organization reaches a
 //! plateau" — no significant improvement over the last
 //! [`SearchConfig::plateau_iters`] proposals (the paper uses 50).
+//!
+//! ## Speculative proposal batching
+//!
+//! With [`SearchConfig::batch_size`] `B > 1` the walk drafts up to `B`
+//! candidate targets per round — drawing each candidate's operation-order
+//! bit up front, which preserves the serial RNG stream — evaluates the
+//! drafts speculatively, and resolves them in the fixed visit order with
+//! the ordinary Metropolis test. The first accepted candidate wins the
+//! round; later drafts are cancelled (their evaluation cost is still
+//! charged to the stats) and the sweep resumes right after the winner.
+//! Speculations are evaluated on forked organization + evaluator replicas
+//! when more than one worker is available, and interleaved with the
+//! resolution on the master otherwise; both schedules produce bit-identical
+//! results, and `B = 1` reproduces the serial walk ([`optimize_reference`])
+//! bit-for-bit. See DESIGN.md §5b for the resolution protocol and the
+//! determinism argument.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::approx::Representatives;
 use crate::ctx::OrgContext;
-use crate::eval::{Evaluator, NavConfig};
+use crate::eval::{DeltaStats, Evaluator, NavConfig};
 use crate::graph::{Organization, StateId};
 use crate::ops::{self, OpKind};
 
@@ -45,6 +61,13 @@ pub struct SearchConfig {
     /// character (occasional uphill escapes) while giving the walk a real
     /// drift toward better organizations.
     pub acceptance_power: f64,
+    /// Speculative proposal-batch width `B`: how many candidate operations
+    /// are drafted and evaluated per resolution round. `1` reproduces the
+    /// serial walk bit-for-bit; larger widths trade redundant speculative
+    /// evaluations for parallelism across worker replicas. Results depend
+    /// on `B` but never on the worker count. Defaults to the `DLN_BATCH`
+    /// environment variable, else 1.
+    pub batch_size: usize,
     /// RNG seed for proposal choice and Metropolis acceptance.
     pub seed: u64,
 }
@@ -58,13 +81,24 @@ impl Default for SearchConfig {
             max_iters: 5_000,
             rep_fraction: 1.0,
             acceptance_power: 400.0,
+            batch_size: batch_size_from_env(),
             seed: 0x0DD5_EA4C,
         }
     }
 }
 
+/// The `DLN_BATCH` environment override for [`SearchConfig::batch_size`]
+/// (ignored unless it parses to ≥ 1).
+fn batch_size_from_env() -> usize {
+    std::env::var("DLN_BATCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(1)
+}
+
 /// Per-proposal record (feeds the Figure 3 pruning analysis).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IterStats {
     /// Which operation was proposed (`None` when no operation was
     /// applicable at the chosen state).
@@ -73,13 +107,18 @@ pub struct IterStats {
     pub accepted: bool,
     /// Effectiveness after the proposal was resolved.
     pub effectiveness: f64,
-    /// States whose reach probabilities were re-evaluated.
+    /// States whose reach probabilities were re-evaluated. For the winner
+    /// of a speculative batch this includes the cancelled speculations of
+    /// its round (the work was really performed — or would have been under
+    /// eager evaluation — so the pruning analysis must count it).
     pub states_visited: usize,
-    /// Alive states at proposal time.
+    /// Alive states at proposal time (batch draft time under batching).
     pub states_alive: usize,
-    /// Representative discovery probabilities re-evaluated.
+    /// Representative discovery probabilities re-evaluated (batch total on
+    /// winner entries, like `states_visited`).
     pub queries_evaluated: usize,
-    /// Attributes covered by those representatives.
+    /// Attributes covered by those representatives (batch total on winner
+    /// entries).
     pub attrs_covered: usize,
 }
 
@@ -94,6 +133,9 @@ pub struct SearchStats {
     pub iterations: usize,
     /// Accepted proposals.
     pub accepted: usize,
+    /// Speculative evaluations that were cancelled because an earlier
+    /// candidate of their batch won the round (0 when `batch_size` is 1).
+    pub speculative_evals: usize,
     /// Wall-clock duration of the search.
     pub duration: std::time::Duration,
     /// Number of evaluation queries (representatives).
@@ -104,6 +146,10 @@ pub struct SearchStats {
 
 impl SearchStats {
     /// Mean fraction of states re-evaluated per proposal (Figure 3b).
+    ///
+    /// Under speculative batching the winner entry of each round carries
+    /// the summed cost of its cancelled speculations, so this mean counts
+    /// every evaluation the search performed, not just committed ones.
     pub fn mean_state_fraction(&self) -> f64 {
         mean(
             self.iter_stats
@@ -115,7 +161,9 @@ impl SearchStats {
 
     /// Mean fraction of attributes whose discovery probability was
     /// re-evaluated per proposal, counting each representative as covering
-    /// its partition (Figure 3a, exact mode).
+    /// its partition (Figure 3a, exact mode). Like
+    /// [`mean_state_fraction`](Self::mean_state_fraction), speculative
+    /// batch work is included via the winner entries' batch sums.
     pub fn mean_attr_fraction(&self, n_attrs: usize) -> f64 {
         mean(
             self.iter_stats
@@ -151,8 +199,468 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// One drafted speculation: a target plus the operation-order bit drawn
+/// for it, and where the level walk resumes if this candidate wins.
+#[derive(Clone, Copy)]
+struct Draft {
+    target: StateId,
+    first_add: bool,
+    resume_at: usize,
+}
+
+/// A speculation's evaluation, as recorded by a worker replica.
+#[derive(Clone)]
+struct SpecResult {
+    /// The operation the proposal resolved to (`None`: nothing applicable).
+    kind: Option<OpKind>,
+    /// Effectiveness the operation would produce.
+    new_eff: f64,
+    /// Evaluation cost counters.
+    stats: DeltaStats,
+}
+
+/// A worker's private copy of the search state, kept in lock-step with the
+/// master by replaying every committed operation.
+struct Replica {
+    org: Organization,
+    ev: Evaluator,
+}
+
+/// The Metropolis test (Eq 9, sharpened by `acceptance_power`). Draws from
+/// the RNG only for a degrading proposal with positive current
+/// effectiveness — the exact condition of the serial walk, so the RNG
+/// stream is preserved under batching.
+fn accept_decision(rng: &mut StdRng, cfg: &SearchConfig, new_eff: f64, eff: f64) -> bool {
+    if new_eff >= eff || eff <= 0.0 {
+        true
+    } else {
+        let ratio = (new_eff / eff).powf(cfg.acceptance_power);
+        rng.random::<f64>() < ratio
+    }
+}
+
+/// Best-so-far tracking shared by every resolution outcome: the Metropolis
+/// walk may wander through worse organizations, so the best organization
+/// seen is kept and restored at the end ("finding an organization that
+/// maximizes ...", Definition 3).
+fn track_best(
+    org: &Organization,
+    eff: f64,
+    cfg: &SearchConfig,
+    best: &mut f64,
+    best_org: &mut Organization,
+    plateau: &mut usize,
+) {
+    if eff > *best + cfg.min_improvement {
+        *best = eff;
+        *best_org = org.clone();
+        *plateau = 0;
+    } else {
+        if eff > *best {
+            *best = eff;
+            *best_org = org.clone();
+        }
+        *plateau += 1;
+    }
+}
+
+/// Evaluate one speculation on a replica: propose, apply, measure, and
+/// roll everything back so the replica stays at the round's base state.
+fn speculate(rep: &mut Replica, ctx: &OrgContext, d: Draft, reach: &[f64]) -> SpecResult {
+    let Some(outcome) = ops::propose(&mut rep.org, ctx, d.target, reach, d.first_add) else {
+        return SpecResult {
+            kind: None,
+            new_eff: 0.0,
+            stats: DeltaStats::default(),
+        };
+    };
+    let kind = outcome.kind;
+    let (undo_ev, stats) = rep.ev.apply_delta(ctx, &rep.org, &outcome.dirty_parents);
+    let new_eff = rep.ev.effectiveness();
+    rep.ev.rollback(undo_ev);
+    ops::undo(&mut rep.org, ctx, outcome);
+    SpecResult {
+        kind: Some(kind),
+        new_eff,
+        stats,
+    }
+}
+
+/// Replay a committed operation on every replica (in parallel — replicas
+/// are independent). `reach` must be the reachability snapshot the master
+/// committed under, so the replay resolves to the identical operation.
+fn sync_replicas(
+    replicas: &mut [Replica],
+    ctx: &OrgContext,
+    kind: OpKind,
+    target: StateId,
+    reach: &[f64],
+) {
+    if replicas.is_empty() {
+        return;
+    }
+    std::thread::scope(|scope| {
+        for rep in replicas.iter_mut() {
+            scope.spawn(move || {
+                rayon::run_inline(|| {
+                    let outcome = ops::try_op(&mut rep.org, ctx, target, reach, kind)
+                        .expect("committed op replays on a synced replica");
+                    let _ = rep.ev.apply_delta(ctx, &rep.org, &outcome.dirty_parents);
+                })
+            });
+        }
+    });
+}
+
 /// Optimize `org` in place. Returns the run statistics.
+///
+/// With [`SearchConfig::batch_size`] = 1 this is the serial walk of
+/// [`optimize_reference`], bit for bit; larger batch widths follow the
+/// speculative resolution protocol described in the module docs.
 pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) -> SearchStats {
+    let start = std::time::Instant::now();
+    let reps = if cfg.rep_fraction >= 1.0 {
+        Representatives::exact(ctx)
+    } else {
+        Representatives::kmedoids(ctx, cfg.rep_fraction, cfg.seed ^ 0x4e9d)
+    };
+    let mut ev = Evaluator::new(ctx, org, cfg.nav, &reps);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let batch_size = cfg.batch_size.max(1);
+    let initial = ev.effectiveness();
+    let mut eff = initial;
+    let mut best = initial;
+    let mut best_org: Organization = org.clone();
+    let mut plateau = 0usize;
+    let mut iterations = 0usize;
+    let mut accepted = 0usize;
+    let mut speculative_evals = 0usize;
+    let mut iter_stats: Vec<IterStats> = Vec::new();
+    // Reachability buffers hoisted out of the proposal loop: the evaluator
+    // serves them from maintained column sums, so the per-round cost is
+    // one memcpy instead of an allocation plus an O(queries × slots) scan.
+    let mut reach_sweep: Vec<f64> = Vec::new();
+    let mut reach_now: Vec<f64> = Vec::new();
+    let mut levels: Vec<u32> = Vec::new();
+    // Worker replicas for eager speculation, created lazily on the first
+    // round that can use them (more than one draft AND more than one
+    // worker) and kept in lock-step with the master afterwards.
+    let mut replicas: Vec<Replica> = Vec::new();
+    let mut drafts: Vec<Draft> = Vec::new();
+    let mut results: Vec<SpecResult> = Vec::new();
+
+    'outer: loop {
+        // One downward sweep: levels snapshotted at sweep start (copied out
+        // of the organization's cache — proposals mutate the DAG mid-sweep),
+        // states in each level ordered by ascending reachability.
+        levels.clear();
+        levels.extend_from_slice(org.levels());
+        ev.reachability_into(&mut reach_sweep);
+        let max_level = levels
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        let mut proposed_this_sweep = false;
+        for level in 1..=max_level {
+            let mut at_level: Vec<StateId> = org
+                .alive_ids()
+                .filter(|s| levels.get(s.index()).copied() == Some(level))
+                .collect();
+            at_level.sort_by(|a, b| {
+                reach_sweep[a.index()]
+                    .partial_cmp(&reach_sweep[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut idx = 0usize;
+            while idx < at_level.len() {
+                if iterations >= cfg.max_iters {
+                    break 'outer;
+                }
+                if !org.state(at_level[idx]).alive {
+                    idx += 1; // eliminated earlier in this sweep
+                    continue;
+                }
+                // Draft phase: collect up to B alive targets (never more
+                // proposals than max_iters still allows), drawing each
+                // candidate's operation-order bit in visit order so the
+                // RNG stream matches the serial walk.
+                let budget = batch_size.min(cfg.max_iters - iterations);
+                drafts.clear();
+                let mut j = idx;
+                while j < at_level.len() && drafts.len() < budget {
+                    let s = at_level[j];
+                    j += 1;
+                    if !org.state(s).alive {
+                        continue;
+                    }
+                    drafts.push(Draft {
+                        target: s,
+                        first_add: rng.random(),
+                        resume_at: j,
+                    });
+                }
+                let states_alive = org.n_alive();
+                // Current reachability guides every operation of the round.
+                ev.reachability_into(&mut reach_now);
+                // Eager speculation: with several drafts and several
+                // workers, evaluate every candidate concurrently on
+                // replicas. Otherwise evaluation happens lazily below,
+                // interleaved with the resolution — same results, no
+                // wasted work past the winner.
+                let eager = drafts.len() > 1 && rayon::current_num_threads() > 1;
+                if eager {
+                    if replicas.is_empty() {
+                        let w = rayon::current_num_threads().min(batch_size);
+                        replicas = (0..w)
+                            .map(|_| Replica {
+                                org: org.clone(),
+                                ev: ev.fork(),
+                            })
+                            .collect();
+                    }
+                    results.clear();
+                    results.resize(
+                        drafts.len(),
+                        SpecResult {
+                            kind: None,
+                            new_eff: 0.0,
+                            stats: DeltaStats::default(),
+                        },
+                    );
+                    let span = drafts
+                        .len()
+                        .div_ceil(replicas.len().min(drafts.len()))
+                        .max(1);
+                    let reach: &[f64] = &reach_now;
+                    let draft_slice: &[Draft] = &drafts;
+                    std::thread::scope(|scope| {
+                        for (rep, (chunk_res, chunk_drafts)) in replicas
+                            .iter_mut()
+                            .zip(results.chunks_mut(span).zip(draft_slice.chunks(span)))
+                        {
+                            scope.spawn(move || {
+                                rayon::run_inline(|| {
+                                    for (res, &d) in chunk_res.iter_mut().zip(chunk_drafts) {
+                                        *res = speculate(rep, ctx, d, reach);
+                                    }
+                                })
+                            });
+                        }
+                    });
+                }
+                // Fixed-order resolution: candidates face the Metropolis
+                // test in visit order; the first acceptance wins the round
+                // and cancels the rest.
+                let mut next_idx = j;
+                let mut stop = false;
+                for i in 0..drafts.len() {
+                    let d = drafts[i];
+                    iterations += 1;
+                    if eager {
+                        let r = results[i].clone();
+                        let Some(kind) = r.kind else {
+                            plateau += 1;
+                            iter_stats.push(IterStats {
+                                op: None,
+                                accepted: false,
+                                effectiveness: eff,
+                                states_visited: 0,
+                                states_alive,
+                                queries_evaluated: 0,
+                                attrs_covered: 0,
+                            });
+                            if plateau >= cfg.plateau_iters {
+                                stop = true;
+                                break;
+                            }
+                            continue;
+                        };
+                        proposed_this_sweep = true;
+                        let accept = accept_decision(&mut rng, cfg, r.new_eff, eff);
+                        if !accept {
+                            // The speculation lived and died on a replica;
+                            // the master never applied it.
+                            track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
+                            iter_stats.push(IterStats {
+                                op: Some(kind),
+                                accepted: false,
+                                effectiveness: eff,
+                                states_visited: r.stats.states_visited,
+                                states_alive,
+                                queries_evaluated: r.stats.queries_evaluated,
+                                attrs_covered: r.stats.attrs_covered,
+                            });
+                            if plateau >= cfg.plateau_iters {
+                                stop = true;
+                                break;
+                            }
+                            continue;
+                        }
+                        // Winner: replay on the master (bit-identical to
+                        // the replica's speculative application).
+                        let outcome = ops::try_op(org, ctx, d.target, &reach_now, kind)
+                            .expect("drafted op replays on the master");
+                        let (_undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
+                        let master_eff = ev.effectiveness();
+                        debug_assert_eq!(
+                            master_eff.to_bits(),
+                            r.new_eff.to_bits(),
+                            "replica diverged from the master"
+                        );
+                        accepted += 1;
+                        eff = master_eff;
+                        let mut folded = delta;
+                        for r2 in &results[i + 1..] {
+                            if r2.kind.is_some() {
+                                folded.states_visited += r2.stats.states_visited;
+                                folded.queries_evaluated += r2.stats.queries_evaluated;
+                                folded.attrs_covered += r2.stats.attrs_covered;
+                                speculative_evals += 1;
+                            }
+                        }
+                        sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);
+                        track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
+                        iter_stats.push(IterStats {
+                            op: Some(kind),
+                            accepted: true,
+                            effectiveness: eff,
+                            states_visited: folded.states_visited,
+                            states_alive,
+                            queries_evaluated: folded.queries_evaluated,
+                            attrs_covered: folded.attrs_covered,
+                        });
+                        next_idx = d.resume_at;
+                        if plateau >= cfg.plateau_iters {
+                            stop = true;
+                        }
+                        break;
+                    } else {
+                        // Lazy resolution on the master.
+                        let outcome = ops::propose(org, ctx, d.target, &reach_now, d.first_add);
+                        let Some(outcome) = outcome else {
+                            plateau += 1;
+                            iter_stats.push(IterStats {
+                                op: None,
+                                accepted: false,
+                                effectiveness: eff,
+                                states_visited: 0,
+                                states_alive,
+                                queries_evaluated: 0,
+                                attrs_covered: 0,
+                            });
+                            if plateau >= cfg.plateau_iters {
+                                stop = true;
+                                break;
+                            }
+                            continue;
+                        };
+                        proposed_this_sweep = true;
+                        let kind = outcome.kind;
+                        let (undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
+                        let new_eff = ev.effectiveness();
+                        let accept = accept_decision(&mut rng, cfg, new_eff, eff);
+                        if !accept {
+                            ev.rollback(undo_ev);
+                            ops::undo(org, ctx, outcome);
+                            track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
+                            iter_stats.push(IterStats {
+                                op: Some(kind),
+                                accepted: false,
+                                effectiveness: eff,
+                                states_visited: delta.states_visited,
+                                states_alive,
+                                queries_evaluated: delta.queries_evaluated,
+                                attrs_covered: delta.attrs_covered,
+                            });
+                            if plateau >= cfg.plateau_iters {
+                                stop = true;
+                                break;
+                            }
+                            continue;
+                        }
+                        accepted += 1;
+                        eff = new_eff;
+                        let mut folded = delta;
+                        if i + 1 < drafts.len() {
+                            // Charge the cancelled speculations of this
+                            // round as eager evaluation would have: lift
+                            // the winner's structural change (the
+                            // evaluator delta stays applied — the census
+                            // below reads only the graph), measure each
+                            // trailing draft against the round's base
+                            // organization, then replay the winner.
+                            ops::undo(org, ctx, outcome);
+                            for d2 in &drafts[i + 1..] {
+                                if let Some(o2) =
+                                    ops::propose(org, ctx, d2.target, &reach_now, d2.first_add)
+                                {
+                                    let s2 = ev.delta_stats_only(org, &o2.dirty_parents);
+                                    folded.states_visited += s2.states_visited;
+                                    folded.queries_evaluated += s2.queries_evaluated;
+                                    folded.attrs_covered += s2.attrs_covered;
+                                    speculative_evals += 1;
+                                    ops::undo(org, ctx, o2);
+                                }
+                            }
+                            let replay = ops::try_op(org, ctx, d.target, &reach_now, kind)
+                                .expect("winner replays after the speculation census");
+                            debug_assert_eq!(replay.kind, kind);
+                        }
+                        sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);
+                        track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
+                        iter_stats.push(IterStats {
+                            op: Some(kind),
+                            accepted: true,
+                            effectiveness: eff,
+                            states_visited: folded.states_visited,
+                            states_alive,
+                            queries_evaluated: folded.queries_evaluated,
+                            attrs_covered: folded.attrs_covered,
+                        });
+                        next_idx = d.resume_at;
+                        if plateau >= cfg.plateau_iters {
+                            stop = true;
+                        }
+                        break;
+                    }
+                }
+                idx = next_idx;
+                if stop {
+                    break 'outer;
+                }
+            }
+        }
+        if !proposed_this_sweep {
+            break; // nothing applicable anywhere — e.g. a flat organization
+        }
+    }
+    if best > eff {
+        *org = best_org;
+        eff = best;
+    }
+    SearchStats {
+        initial_effectiveness: initial,
+        final_effectiveness: eff,
+        iterations,
+        accepted,
+        speculative_evals,
+        duration: start.elapsed(),
+        n_queries: ev.n_queries(),
+        iter_stats,
+    }
+}
+
+/// The pre-batching serial proposal walk, kept verbatim as the bit-identity
+/// oracle for the speculative engine ([`optimize`] with `batch_size = 1`
+/// must reproduce it exactly at any worker count) and as the honest A/B
+/// baseline for `dln-bench`.
+pub fn optimize_reference(
+    ctx: &OrgContext,
+    org: &mut Organization,
+    cfg: &SearchConfig,
+) -> SearchStats {
     let start = std::time::Instant::now();
     let reps = if cfg.rep_fraction >= 1.0 {
         Representatives::exact(ctx)
@@ -172,17 +680,11 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
     let mut iterations = 0usize;
     let mut accepted = 0usize;
     let mut iter_stats: Vec<IterStats> = Vec::new();
-    // Reachability buffers hoisted out of the proposal loop: the evaluator
-    // serves them from maintained column sums, so the per-proposal cost is
-    // one memcpy instead of an allocation plus an O(queries × slots) scan.
     let mut reach_sweep: Vec<f64> = Vec::new();
     let mut reach_now: Vec<f64> = Vec::new();
     let mut levels: Vec<u32> = Vec::new();
 
     'outer: loop {
-        // One downward sweep: levels snapshotted at sweep start (copied out
-        // of the organization's cache — proposals mutate the DAG mid-sweep),
-        // states in each level ordered by ascending reachability.
         levels.clear();
         levels.extend_from_slice(org.levels());
         ev.reachability_into(&mut reach_sweep);
@@ -215,13 +717,7 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
                 // Current reachability guides the operation's choices.
                 ev.reachability_into(&mut reach_now);
                 let first_add: bool = rng.random();
-                let outcome = if first_add {
-                    ops::try_add_parent(org, ctx, s, &reach_now)
-                        .or_else(|| ops::try_delete_parent(org, ctx, s, &reach_now))
-                } else {
-                    ops::try_delete_parent(org, ctx, s, &reach_now)
-                        .or_else(|| ops::try_add_parent(org, ctx, s, &reach_now))
-                };
+                let outcome = ops::propose(org, ctx, s, &reach_now, first_add);
                 let Some(outcome) = outcome else {
                     plateau += 1;
                     iter_stats.push(IterStats {
@@ -243,12 +739,7 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
                 let (undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
                 let new_eff = ev.effectiveness();
                 // Metropolis acceptance (Eq 9).
-                let accept = if new_eff >= eff || eff <= 0.0 {
-                    true
-                } else {
-                    let ratio = (new_eff / eff).powf(cfg.acceptance_power);
-                    rng.random::<f64>() < ratio
-                };
+                let accept = accept_decision(&mut rng, cfg, new_eff, eff);
                 if accept {
                     accepted += 1;
                     eff = new_eff;
@@ -256,17 +747,7 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
                     ev.rollback(undo_ev);
                     ops::undo(org, ctx, outcome);
                 }
-                if eff > best + cfg.min_improvement {
-                    best = eff;
-                    best_org = org.clone();
-                    plateau = 0;
-                } else {
-                    if eff > best {
-                        best = eff;
-                        best_org = org.clone();
-                    }
-                    plateau += 1;
-                }
+                track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
                 iter_stats.push(IterStats {
                     op: Some(kind),
                     accepted: accept,
@@ -294,6 +775,7 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
         final_effectiveness: eff,
         iterations,
         accepted,
+        speculative_evals: 0,
         duration: start.elapsed(),
         n_queries: ev.n_queries(),
         iter_stats,
@@ -309,6 +791,32 @@ mod tests {
     fn ctx() -> OrgContext {
         let bench = TagCloudConfig::small().generate();
         OrgContext::full(&bench.lake)
+    }
+
+    /// Structural + topical fingerprint of the alive part of an
+    /// organization (FNV-folded), for cheap bit-identity assertions.
+    fn org_fingerprint(org: &Organization) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100000001b3)
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        h = mix(h, org.n_slots() as u64);
+        h = mix(h, org.n_alive() as u64);
+        for s in org.alive_ids() {
+            let st = org.state(s);
+            h = mix(h, s.index() as u64);
+            h = mix(h, st.tag.map(|t| t as u64 + 1).unwrap_or(0));
+            for &c in &st.children {
+                h = mix(h, c.index() as u64 ^ 0x10_0000);
+            }
+            for &p in &st.parents {
+                h = mix(h, p.index() as u64 ^ 0x20_0000);
+            }
+            for v in &st.unit_topic {
+                h = mix(h, v.to_bits() as u64);
+            }
+        }
+        h
     }
 
     #[test]
@@ -454,5 +962,127 @@ mod tests {
         assert!(sf > 0.0 && sf < 1.0, "state fraction {sf}");
         let af = stats.mean_attr_fraction(ctx.n_attrs());
         assert!(af > 0.0 && af <= 1.0, "attr fraction {af}");
+    }
+
+    #[test]
+    fn batch_of_one_matches_reference_bitwise() {
+        // Property (a) of the batching PR: B = 1 is the serial walk, bit
+        // for bit, at any worker count — identical trajectory (per-proposal
+        // records), identical final organization.
+        let ctx = ctx();
+        for threads in [1usize, 4] {
+            rayon::set_num_threads(threads);
+            let cfg = SearchConfig {
+                max_iters: 200,
+                plateau_iters: 80,
+                batch_size: 1,
+                ..Default::default()
+            };
+            let mut org_a = crate::init::random_org(&ctx, 77);
+            let a = optimize(&ctx, &mut org_a, &cfg);
+            let mut org_b = crate::init::random_org(&ctx, 77);
+            let b = optimize_reference(&ctx, &mut org_b, &cfg);
+            rayon::set_num_threads(0);
+            assert_eq!(
+                a.final_effectiveness.to_bits(),
+                b.final_effectiveness.to_bits(),
+                "final effectiveness diverged at {threads} threads"
+            );
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.speculative_evals, 0);
+            assert_eq!(a.iter_stats, b.iter_stats);
+            assert_eq!(
+                org_fingerprint(&org_a),
+                org_fingerprint(&org_b),
+                "final organization diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_search_is_thread_count_invariant() {
+        // One worker takes the lazy resolution path, several workers the
+        // eager replica path — the trajectories must be bit-identical.
+        let ctx = ctx();
+        let run = |threads: usize| {
+            rayon::set_num_threads(threads);
+            let cfg = SearchConfig {
+                max_iters: 250,
+                plateau_iters: 100,
+                batch_size: 4,
+                ..Default::default()
+            };
+            let mut org = crate::init::random_org(&ctx, 42);
+            let stats = optimize(&ctx, &mut org, &cfg);
+            rayon::set_num_threads(0);
+            (stats, org_fingerprint(&org))
+        };
+        let (base, base_fp) = run(1);
+        for threads in [2usize, 8] {
+            let (s, fp) = run(threads);
+            assert_eq!(fp, base_fp, "final org diverged at {threads} threads");
+            assert_eq!(
+                s.final_effectiveness.to_bits(),
+                base.final_effectiveness.to_bits()
+            );
+            assert_eq!(s.iterations, base.iterations);
+            assert_eq!(s.accepted, base.accepted);
+            assert_eq!(s.speculative_evals, base.speculative_evals);
+            assert_eq!(
+                s.iter_stats, base.iter_stats,
+                "per-proposal records diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_final_effectiveness_matches_fresh_evaluation() {
+        let ctx = ctx();
+        rayon::set_num_threads(4);
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            max_iters: 150,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        rayon::set_num_threads(0);
+        org.validate(&ctx)
+            .expect("valid after batched optimization");
+        let reps = Representatives::exact(&ctx);
+        let fresh = Evaluator::new(&ctx, &org, cfg.nav, &reps);
+        assert!(
+            (stats.final_effectiveness - fresh.effectiveness()).abs() < 1e-9,
+            "incremental bookkeeping drifted under batching: {} vs {}",
+            stats.final_effectiveness,
+            fresh.effectiveness()
+        );
+    }
+
+    #[test]
+    fn batched_search_counts_cancelled_speculations() {
+        // Satellite check: the pruning stats must include the speculative
+        // work a batch performs, not just the winners'.
+        let ctx = ctx();
+        let cfg = SearchConfig {
+            max_iters: 300,
+            plateau_iters: 120,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let mut org = crate::init::random_org(&ctx, 7);
+        let stats = optimize(&ctx, &mut org, &cfg);
+        assert!(
+            stats.speculative_evals > 0,
+            "a random-init walk at B = 8 must cancel some speculations"
+        );
+        let winner_visited: usize = stats
+            .iter_stats
+            .iter()
+            .filter(|s| s.accepted)
+            .map(|s| s.states_visited)
+            .sum();
+        assert!(winner_visited > 0);
     }
 }

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Below this many items per would-be worker, `for_each` runs inline —
@@ -60,6 +61,53 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    /// Set while a caller is already running on a spawned worker thread:
+    /// nested `for_each` calls must not spawn a second layer of threads
+    /// (`std::thread::scope` has no shared pool to absorb oversubscription).
+    static FORCE_INLINE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` with all parallel combinators on this thread forced inline
+/// (single-threaded). Callers that hand whole tasks to their *own* scoped
+/// worker threads wrap the per-task body in this so the inner
+/// `par_chunks_mut` loops don't spawn a second layer of threads. The inline
+/// path executes identical per-item code, so results are unchanged.
+pub fn run_inline<R>(f: impl FnOnce() -> R) -> R {
+    let prev = FORCE_INLINE.with(|c| c.replace(true));
+    let out = f();
+    FORCE_INLINE.with(|c| c.set(prev));
+    out
+}
+
+/// True when [`run_inline`] is active on this thread.
+fn force_inline() -> bool {
+    FORCE_INLINE.with(|c| c.get())
+}
+
+/// Indexed parallel map: computes `f(0), f(1), …, f(n − 1)` across the
+/// worker pool and returns the results **in index order** — the facade's
+/// equivalent of `(0..n).into_par_iter().map(f).collect()`.
+///
+/// Work is split into one contiguous index span per worker; each result is
+/// written into its own pre-sized slot, so output order (and therefore any
+/// fold the caller runs over it) is independent of the thread count. `f`
+/// must not care which thread it runs on.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    out.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+        slot[0] = Some(f(i));
+    });
+    out.into_iter()
+        .map(|v| v.expect("par_map covered every index"))
+        .collect()
 }
 
 /// The traits hot loops import with `use rayon::prelude::*`.
@@ -141,9 +189,13 @@ pub trait IndexedParallelIterator: Sized + Send {
         if n == 0 {
             return;
         }
-        let workers = current_num_threads()
-            .min(n.div_ceil(MIN_ITEMS_PER_THREAD))
-            .max(1);
+        let workers = if force_inline() {
+            1
+        } else {
+            current_num_threads()
+                .min(n.div_ceil(MIN_ITEMS_PER_THREAD))
+                .max(1)
+        };
         if workers == 1 {
             let mut cursor = self;
             let mut state = init();
@@ -368,6 +420,43 @@ mod tests {
     fn empty_input_is_a_noop() {
         let mut v: Vec<u32> = Vec::new();
         v.par_chunks_mut(4).for_each(|_| panic!("no items"));
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for t in [1usize, 3, 8] {
+            set_num_threads(t);
+            let v = par_map(257, |i| i * i);
+            set_num_threads(0);
+            assert_eq!(v.len(), 257);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+        }
+        assert!(par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_inline_suppresses_nested_spawns() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let outer = std::thread::current().id();
+        let ran_on = run_inline(|| {
+            let ids = std::sync::Mutex::new(Vec::new());
+            let mut v = [0u8; 64];
+            v.par_chunks_mut(1).for_each(|chunk| {
+                chunk[0] = 1;
+                ids.lock().unwrap().push(std::thread::current().id());
+            });
+            assert!(v.iter().all(|&x| x == 1));
+            ids.into_inner().unwrap()
+        });
+        set_num_threads(0);
+        assert!(
+            ran_on.iter().all(|&id| id == outer),
+            "inline mode must not spawn"
+        );
+        // The guard is scoped: parallelism is restored after run_inline.
+        assert!(current_num_threads() >= 1);
     }
 
     #[test]

@@ -15,8 +15,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
+use datalake_nav::org::search::{optimize, optimize_reference, SearchConfig};
 use datalake_nav::org::{
-    clustering_org, ops, Evaluator, NavConfig, OrgContext, Organization, Representatives,
+    clustering_org, ops, random_org, Evaluator, NavConfig, OrgContext, Organization,
+    Representatives,
 };
 use datalake_nav::prelude::*;
 use datalake_nav::study::mann_whitney_u;
@@ -159,6 +161,101 @@ fn op_sequences_are_thread_count_invariant() {
             assert_eq!(serial, parallel, "results changed with {threads} threads");
         }
         rayon::set_num_threads(0); // back to the environment default
+    }
+}
+
+#[test]
+fn speculative_fork_and_rollback_are_bit_exact() {
+    // Batching-PR property (b): a losing speculation — proposed, fully
+    // evaluated, and rolled back on a forked replica — leaves the replica
+    // bit-identical to the master; and the master's graph-only cost census
+    // (`delta_stats_only`) agrees exactly with the replica's full
+    // evaluation counters while touching no evaluator observable.
+    let ctx = small_ctx();
+    let mut rng = StdRng::seed_from_u64(0x5BEC_F04C);
+    for _case in 0..6 {
+        let mut org = clustering_org(&ctx);
+        let reps = Representatives::exact(&ctx);
+        let mut ev = Evaluator::new(&ctx, &org, NavConfig::default(), &reps);
+        let mut rep_org = org.clone();
+        let mut rep_ev = ev.fork();
+        assert_eq!(
+            eval_bits(&rep_ev, &ctx),
+            eval_bits(&ev, &ctx),
+            "a fork must observe exactly what the original observes"
+        );
+        for _step in 0..6 {
+            let targets: Vec<_> = org.alive_ids().filter(|&s| s != org.root()).collect();
+            let target = targets[rng.random_range(0..targets.len() as u32) as usize];
+            let first_add = rng.random::<bool>();
+            let reach = ev.reachability();
+            let before_bits = eval_bits(&rep_ev, &ctx);
+            let before_org = org_fingerprint(&rep_org);
+            let Some(outcome) = ops::propose(&mut rep_org, &ctx, target, &reach, first_add) else {
+                continue;
+            };
+            let (undo_ev, stats) = rep_ev.apply_delta(&ctx, &rep_org, &outcome.dirty_parents);
+            rep_ev.rollback(undo_ev);
+            // The graph-only census on the master (op applied, measured,
+            // lifted) must match the replica's full-evaluation counters.
+            let census_outcome = ops::propose(&mut org, &ctx, target, &reach, first_add)
+                .expect("the drafted op applies identically on the master");
+            let census = ev.delta_stats_only(&org, &census_outcome.dirty_parents);
+            assert_eq!(census.states_visited, stats.states_visited);
+            assert_eq!(census.queries_evaluated, stats.queries_evaluated);
+            assert_eq!(census.attrs_covered, stats.attrs_covered);
+            ops::undo(&mut org, &ctx, census_outcome);
+            ops::undo(&mut rep_org, &ctx, outcome);
+            assert_eq!(
+                eval_bits(&rep_ev, &ctx),
+                before_bits,
+                "losing speculation must leave the replica bit-identical"
+            );
+            assert_eq!(org_fingerprint(&rep_org), before_org);
+            assert_eq!(
+                eval_bits(&ev, &ctx),
+                eval_bits(&rep_ev, &ctx),
+                "the census must leave the master untouched"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_of_one_is_the_serial_walk_at_any_thread_count() {
+    // Batching-PR property (a): optimize with batch_size = 1 reproduces
+    // the serial reference walk bit-for-bit — trajectory, stats, and final
+    // organization — regardless of the worker count.
+    let ctx = small_ctx();
+    for seed in [1u64, 0xBEE5, 424242] {
+        for threads in [1usize, 4] {
+            rayon::set_num_threads(threads);
+            let cfg = SearchConfig {
+                max_iters: 120,
+                plateau_iters: 60,
+                batch_size: 1,
+                seed,
+                ..Default::default()
+            };
+            let mut a_org = random_org(&ctx, seed ^ 0x0A11);
+            let a = optimize(&ctx, &mut a_org, &cfg);
+            let mut b_org = random_org(&ctx, seed ^ 0x0A11);
+            let b = optimize_reference(&ctx, &mut b_org, &cfg);
+            rayon::set_num_threads(0);
+            assert_eq!(
+                a.final_effectiveness.to_bits(),
+                b.final_effectiveness.to_bits(),
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(a.iterations, b.iterations, "seed {seed}");
+            assert_eq!(a.accepted, b.accepted, "seed {seed}");
+            assert_eq!(a.iter_stats, b.iter_stats, "seed {seed}");
+            assert_eq!(
+                org_fingerprint(&a_org),
+                org_fingerprint(&b_org),
+                "seed {seed}, {threads} threads"
+            );
+        }
     }
 }
 
