@@ -27,13 +27,19 @@
 //! lookups.
 
 #![warn(missing_docs)]
+// Robustness contract (ISSUE 3): `.vec` loading must degrade gracefully on
+// malformed rows, never abort the pipeline. Panicking extractors are banned
+// outside tests; fallible paths return `DlnError`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod model;
 pub mod tokenize;
 pub mod vector;
 pub mod vocab;
 
-pub use model::{EmbeddingModel, SyntheticEmbedding, SyntheticEmbeddingConfig, VecFileModel};
+pub use model::{
+    EmbeddingModel, SyntheticEmbedding, SyntheticEmbeddingConfig, VecFileModel, VecLoadReport,
+};
 pub use tokenize::{is_numeric_value, tokenize};
 pub use vector::{
     batch_dot_wide, cosine, dot, l2_norm, mean, normalize, normalized, TopicAccumulator,

@@ -8,6 +8,8 @@ use std::collections::HashMap;
 use std::io::BufRead;
 use std::path::Path;
 
+use dln_fault::DlnError;
+
 use crate::vector::TopicAccumulator;
 use crate::vocab::{TokenId, Vocabulary, VocabularyConfig};
 
@@ -153,10 +155,42 @@ impl EmbeddingModel for SyntheticEmbedding {
 /// An embedding model loaded from a fastText/GloVe text `.vec` file:
 /// optionally a `count dim` header line, then one `word v1 v2 ... vd` line
 /// per word.
+#[derive(Debug)]
 pub struct VecFileModel {
     dim: usize,
     vectors: Vec<f32>,
     index: HashMap<String, u32>,
+}
+
+/// Per-category counters for one `.vec` load: how many rows were loaded
+/// and how many were quarantined, by reason. Real fastText dumps contain
+/// a few malformed rows (truncated lines, `nan` values, duplicates); the
+/// loader skips them, counts them here, and only errors when *nothing*
+/// loads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VecLoadReport {
+    /// Rows that became embeddings.
+    pub rows_loaded: usize,
+    /// `count dim` header lines recognized and skipped.
+    pub header_lines: usize,
+    /// Rows whose values failed to parse as numbers.
+    pub unparseable_rows: usize,
+    /// Rows whose arity disagreed with the established dimension
+    /// (typically a truncated final line).
+    pub dim_mismatch_rows: usize,
+    /// Rows containing a NaN or infinite component. A non-finite vector
+    /// would silently poison every topic mean it touches downstream, so
+    /// these are quarantined even though they *parse*.
+    pub non_finite_rows: usize,
+    /// Rows repeating an already-loaded word (first occurrence wins).
+    pub duplicate_words: usize,
+}
+
+impl VecLoadReport {
+    /// Total rows quarantined (skipped for any reason except headers).
+    pub fn total_quarantined(&self) -> usize {
+        self.unparseable_rows + self.dim_mismatch_rows + self.non_finite_rows + self.duplicate_words
+    }
 }
 
 impl VecFileModel {
@@ -164,51 +198,95 @@ impl VecFileModel {
     ///
     /// Lines that do not match the expected arity are skipped (real fastText
     /// dumps contain a few malformed rows). Returns an error only if no
-    /// valid rows are found.
+    /// valid rows are found. Compatibility wrapper over
+    /// [`from_reader_report`](Self::from_reader_report), dropping the report.
     pub fn from_reader<R: BufRead>(reader: R) -> std::io::Result<Self> {
+        Self::from_reader_report(reader)
+            .map(|(m, _)| m)
+            .map_err(std::io::Error::from)
+    }
+
+    /// Parse a `.vec`-format stream, quarantining malformed rows into a
+    /// [`VecLoadReport`] instead of aborting: unparseable rows, truncated
+    /// rows (arity/dimension mismatch), rows with NaN/infinite components,
+    /// and duplicate words are counted and skipped. Errors only on IO
+    /// failure or when no valid row is found at all.
+    pub fn from_reader_report<R: BufRead>(reader: R) -> Result<(Self, VecLoadReport), DlnError> {
+        let mut report = VecLoadReport::default();
         let mut dim = 0usize;
         let mut vectors: Vec<f32> = Vec::new();
         let mut index = HashMap::new();
         for line in reader.lines() {
-            let line = line?;
+            let line = line.map_err(|e| DlnError::io("reading .vec stream", e))?;
             let mut parts = line.split_whitespace();
             let Some(word) = parts.next() else { continue };
             let rest: Vec<&str> = parts.collect();
             if rest.is_empty() {
+                report.unparseable_rows += 1;
                 continue;
             }
             // Header line: "count dim".
             if dim == 0 && rest.len() == 1 && word.parse::<u64>().is_ok() {
+                report.header_lines += 1;
                 continue;
             }
             let parsed: Option<Vec<f32>> = rest.iter().map(|s| s.parse::<f32>().ok()).collect();
-            let Some(vals) = parsed else { continue };
+            let Some(vals) = parsed else {
+                report.unparseable_rows += 1;
+                continue;
+            };
+            // `parse::<f32>` accepts "NaN"/"inf"; a non-finite component
+            // must not reach topic accumulators.
+            if vals.iter().any(|v| !v.is_finite()) {
+                report.non_finite_rows += 1;
+                continue;
+            }
             if dim == 0 {
                 dim = vals.len();
             }
-            if vals.len() != dim || index.contains_key(word) {
+            if vals.len() != dim {
+                report.dim_mismatch_rows += 1;
+                continue;
+            }
+            if index.contains_key(word) {
+                report.duplicate_words += 1;
                 continue;
             }
             index.insert(word.to_string(), (vectors.len() / dim) as u32);
             vectors.extend_from_slice(&vals);
+            report.rows_loaded += 1;
         }
         if dim == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "no embedding rows found",
+            return Err(DlnError::malformed(
+                ".vec stream",
+                format!(
+                    "no valid embedding rows found ({} quarantined)",
+                    report.total_quarantined()
+                ),
             ));
         }
-        Ok(VecFileModel {
-            dim,
-            vectors,
-            index,
-        })
+        Ok((
+            VecFileModel {
+                dim,
+                vectors,
+                index,
+            },
+            report,
+        ))
     }
 
     /// Load from a file path.
     pub fn from_path(path: &Path) -> std::io::Result<Self> {
-        let file = std::fs::File::open(path)?;
-        Self::from_reader(std::io::BufReader::new(file))
+        Self::from_path_report(path)
+            .map(|(m, _)| m)
+            .map_err(std::io::Error::from)
+    }
+
+    /// Load from a file path, returning the quarantine report.
+    pub fn from_path_report(path: &Path) -> Result<(Self, VecLoadReport), DlnError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| DlnError::io(format!("opening {}", path.display()), e))?;
+        Self::from_reader_report(std::io::BufReader::new(file))
     }
 
     /// Number of words loaded.
@@ -336,5 +414,43 @@ mod tests {
     #[test]
     fn vec_file_empty_is_error() {
         assert!(VecFileModel::from_reader(std::io::Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn vec_file_report_counts_quarantined_rows() {
+        // header, 2 good rows, a NaN row, an inf row, a truncated row, a
+        // duplicate, and an unparseable row.
+        let data = "7 3\n\
+                    foo 1 0 0\n\
+                    bar 0 1 0\n\
+                    poisoned NaN 0 0\n\
+                    hot inf 0 1\n\
+                    cut 1 0\n\
+                    foo 9 9 9\n\
+                    junk x y z\n";
+        let (m, report) = VecFileModel::from_reader_report(std::io::Cursor::new(data)).unwrap();
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(report.rows_loaded, 2);
+        assert_eq!(report.header_lines, 1);
+        assert_eq!(report.non_finite_rows, 2, "NaN and inf rows quarantined");
+        assert_eq!(report.dim_mismatch_rows, 1);
+        assert_eq!(report.duplicate_words, 1);
+        assert_eq!(report.unparseable_rows, 1);
+        assert_eq!(report.total_quarantined(), 5);
+        // The NaN vector must not be loadable: it would poison every topic
+        // mean it touches.
+        assert!(m.embed("poisoned").is_none());
+        assert_eq!(m.embed("foo").unwrap(), &[1.0, 0.0, 0.0], "first wins");
+    }
+
+    #[test]
+    fn vec_file_all_rows_quarantined_is_typed_error() {
+        let data = "bad NaN NaN\nworse inf inf\n";
+        let err = VecFileModel::from_reader_report(std::io::Cursor::new(data)).unwrap_err();
+        assert!(matches!(err, dln_fault::DlnError::Malformed { .. }));
+        // The io::Result wrapper downgrades it to InvalidData.
+        let io_err = VecFileModel::from_reader(std::io::Cursor::new(data)).unwrap_err();
+        assert_eq!(io_err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use dln_embed::{tokenize, EmbeddingModel, TopicAccumulator};
+use dln_fault::{DlnError, DlnResult};
 
 use crate::model::{AttrId, Attribute, DataLake, Table, TableId, Tag, TagId};
 
@@ -97,6 +98,10 @@ impl LakeBuilder {
     /// Add a text attribute by embedding its raw values with `model`.
     /// Values are tokenized; each embeddable token contributes one vector to
     /// the topic accumulator (the paper's per-value word-embedding mean).
+    ///
+    /// Panics on a model/lake dimension mismatch; use
+    /// [`try_add_attribute`](Self::try_add_attribute) for a recoverable
+    /// error instead.
     pub fn add_attribute<'a, I, M>(
         &mut self,
         table: TableId,
@@ -108,7 +113,34 @@ impl LakeBuilder {
         I: IntoIterator<Item = &'a str>,
         M: EmbeddingModel,
     {
-        assert_eq!(model.dim(), self.dim, "model dim must match lake dim");
+        match self.try_add_attribute(table, name, values, model) {
+            Ok(id) => id,
+            Err(_) => panic!("model dim must match lake dim"),
+        }
+    }
+
+    /// Fallible form of [`add_attribute`](Self::add_attribute): a
+    /// model/lake dimension mismatch is reported as
+    /// [`DlnError::DimMismatch`] instead of panicking, so ingest can
+    /// quarantine the offending table and continue.
+    pub fn try_add_attribute<'a, I, M>(
+        &mut self,
+        table: TableId,
+        name: &str,
+        values: I,
+        model: &M,
+    ) -> DlnResult<AttrId>
+    where
+        I: IntoIterator<Item = &'a str>,
+        M: EmbeddingModel,
+    {
+        if model.dim() != self.dim {
+            return Err(DlnError::DimMismatch {
+                context: format!("attribute `{name}`: embedding model vs lake"),
+                expected: self.dim,
+                got: model.dim(),
+            });
+        }
         let mut topic = TopicAccumulator::new(self.dim);
         let mut stored = Vec::new();
         let mut n_values = 0u32;
@@ -123,12 +155,16 @@ impl LakeBuilder {
                 stored.push(v.to_string());
             }
         }
-        self.add_attribute_raw(table, name, topic, n_values, stored)
+        self.try_add_attribute_raw(table, name, topic, n_values, stored)
     }
 
     /// Add an attribute whose topic accumulator was computed elsewhere
     /// (generators precompute topic vectors; CSV ingestion uses
     /// [`add_attribute`](Self::add_attribute)).
+    ///
+    /// Panics on a topic/lake dimension mismatch; use
+    /// [`try_add_attribute_raw`](Self::try_add_attribute_raw) for a
+    /// recoverable error instead.
     pub fn add_attribute_raw(
         &mut self,
         table: TableId,
@@ -137,7 +173,28 @@ impl LakeBuilder {
         n_values: u32,
         values: Vec<String>,
     ) -> AttrId {
-        assert_eq!(topic.dim(), self.dim, "topic dim must match lake dim");
+        match self.try_add_attribute_raw(table, name, topic, n_values, values) {
+            Ok(id) => id,
+            Err(_) => panic!("topic dim must match lake dim"),
+        }
+    }
+
+    /// Fallible form of [`add_attribute_raw`](Self::add_attribute_raw).
+    pub fn try_add_attribute_raw(
+        &mut self,
+        table: TableId,
+        name: &str,
+        topic: TopicAccumulator,
+        n_values: u32,
+        values: Vec<String>,
+    ) -> DlnResult<AttrId> {
+        if topic.dim() != self.dim {
+            return Err(DlnError::DimMismatch {
+                context: format!("attribute `{name}`: topic accumulator vs lake"),
+                expected: self.dim,
+                got: topic.dim(),
+            });
+        }
         let id = AttrId(self.attrs.len() as u32);
         let unit_topic = topic.unit_mean();
         self.attrs.push(Attribute {
@@ -153,7 +210,7 @@ impl LakeBuilder {
             },
         });
         self.tables[table.index()].attrs.push(id);
-        id
+        Ok(id)
     }
 
     /// Number of tables added so far.
@@ -328,6 +385,22 @@ mod tests {
         let mut b = LakeBuilder::new(99);
         let t = b.begin_table("t");
         b.add_attribute(t, "col", ["x"], &m);
+    }
+
+    #[test]
+    fn try_add_attribute_reports_dim_mismatch() {
+        let m = model();
+        let mut b = LakeBuilder::new(99);
+        let t = b.begin_table("t");
+        let err = b.try_add_attribute(t, "col", ["x"], &m).unwrap_err();
+        match err {
+            DlnError::DimMismatch { expected, got, .. } => {
+                assert_eq!(expected, 99);
+                assert_eq!(got, m.dim());
+            }
+            other => panic!("expected DimMismatch, got {other}"),
+        }
+        assert_eq!(b.n_attrs(), 0, "failed add leaves the builder unchanged");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::io::BufRead;
 use std::path::Path;
 
 use dln_embed::{is_numeric_value, EmbeddingModel};
+use dln_fault::DlnError;
 
 use crate::builder::LakeBuilder;
 use crate::model::DataLake;
@@ -43,8 +44,10 @@ impl Default for CsvOptions {
 }
 
 /// Parse one CSV record from `input` starting at byte `pos`.
-/// Returns the fields and the position after the record, or `None` at EOF.
-fn parse_record(input: &[u8], mut pos: usize) -> Option<(Vec<String>, usize)> {
+/// Returns the fields, the position after the record, and whether the
+/// record was terminated by EOF *inside* an open quote (an unbalanced
+/// quote — the classic torn/truncated-CSV symptom). `None` at EOF.
+fn parse_record(input: &[u8], mut pos: usize) -> Option<(Vec<String>, usize, bool)> {
     if pos >= input.len() {
         return None;
     }
@@ -54,7 +57,7 @@ fn parse_record(input: &[u8], mut pos: usize) -> Option<(Vec<String>, usize)> {
     loop {
         if pos >= input.len() {
             fields.push(String::from_utf8_lossy(&field).into_owned());
-            return Some((fields, pos));
+            return Some((fields, pos, in_quotes));
         }
         let b = input[pos];
         if in_quotes {
@@ -87,12 +90,12 @@ fn parse_record(input: &[u8], mut pos: usize) -> Option<(Vec<String>, usize)> {
                         pos += 1;
                     }
                     fields.push(String::from_utf8_lossy(&field).into_owned());
-                    return Some((fields, pos));
+                    return Some((fields, pos, false));
                 }
                 b'\n' => {
                     pos += 1;
                     fields.push(String::from_utf8_lossy(&field).into_owned());
-                    return Some((fields, pos));
+                    return Some((fields, pos, false));
                 }
                 _ => {
                     field.push(b);
@@ -105,16 +108,26 @@ fn parse_record(input: &[u8], mut pos: usize) -> Option<(Vec<String>, usize)> {
 
 /// Parse an entire CSV byte buffer into rows of fields.
 pub fn parse_csv(input: &[u8]) -> Vec<Vec<String>> {
+    parse_csv_checked(input).0
+}
+
+/// As [`parse_csv`], but also reporting whether the buffer ended inside an
+/// open quote (unbalanced quotes / truncated file). The ingest path
+/// quarantines such files; [`parse_csv`] keeps the lenient salvage
+/// behavior for programmatic callers.
+pub fn parse_csv_checked(input: &[u8]) -> (Vec<Vec<String>>, bool) {
     let mut rows = Vec::new();
     let mut pos = 0usize;
-    while let Some((fields, next)) = parse_record(input, pos) {
+    let mut unbalanced = false;
+    while let Some((fields, next, eof_in_quotes)) = parse_record(input, pos) {
+        unbalanced |= eof_in_quotes;
         // Skip blank lines.
         if !(fields.len() == 1 && fields[0].is_empty()) {
             rows.push(fields);
         }
         pos = next;
     }
-    rows
+    (rows, unbalanced)
 }
 
 /// A parsed table before lake insertion.
@@ -185,16 +198,77 @@ pub fn extract_text_columns(name: &str, rows: &[Vec<String>], opts: &CsvOptions)
     table
 }
 
+/// Per-category quarantine counters for one ingest run.
+///
+/// Real lakes are messy (the paper's Socrata crawl, metadata-system
+/// surveys): unreadable files, truncated CSVs, binary junk with a `.csv`
+/// extension. The ingest path never aborts on such inputs — it quarantines
+/// them, counts them here, and logs a one-line warning per victim, so a
+/// 7.5k-table build survives its dirty 1%.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Tables that entered the lake.
+    pub tables_loaded: usize,
+    /// Parsed fine but had no text column (§3.1: text attributes only).
+    pub tables_without_text: usize,
+    /// Directory entries `read_dir` could not stat/yield.
+    pub unreadable_dir_entries: usize,
+    /// CSV files whose bytes could not be read (IO error).
+    pub io_errors: usize,
+    /// CSV files rejected for invalid UTF-8 content.
+    pub invalid_utf8: usize,
+    /// CSV files rejected as structurally malformed (unbalanced quotes /
+    /// truncated quoted field).
+    pub malformed_csv: usize,
+    /// Sidecar `.tags` files that existed but could not be read (the table
+    /// still loads, tagged with its own name).
+    pub tag_sidecar_errors: usize,
+    /// Paths quarantined, with a one-line reason each (same order as the
+    /// warnings emitted during the run).
+    pub quarantined: Vec<(String, String)>,
+}
+
+impl IngestReport {
+    /// Total inputs quarantined (files skipped entirely).
+    pub fn total_quarantined(&self) -> usize {
+        self.io_errors + self.invalid_utf8 + self.malformed_csv
+    }
+
+    fn quarantine(&mut self, path: &Path, reason: impl Into<String>) {
+        let reason = reason.into();
+        eprintln!("warning: quarantined {}: {reason}", path.display());
+        self.quarantined.push((path.display().to_string(), reason));
+    }
+}
+
+/// Result of [`ingest_dir`]: the lake, the numeric-column catalog, and the
+/// quarantine report.
+#[derive(Debug)]
+pub struct Ingest {
+    /// The text-attribute lake.
+    pub lake: DataLake,
+    /// Distributional profiles of the numeric columns (§3.1 future work).
+    pub numeric: NumericCatalog,
+    /// What was loaded, skipped, and quarantined.
+    pub report: IngestReport,
+}
+
 /// Load every `*.csv` under `dir` (non-recursive) into a lake, embedding
 /// values with `model`. Sidecar `<stem>.tags` files supply table tags; a
 /// table without a sidecar gets a single tag equal to its name (open-data
 /// portals always expose at least the dataset title as a keyword).
+///
+/// Pre-robustness-layer wrapper over [`ingest_dir`]: malformed inputs are
+/// quarantined (not fatal) but the report is dropped. Only a failure to
+/// list `dir` itself is an error.
 pub fn load_dir<M: EmbeddingModel>(
     dir: &Path,
     model: &M,
     opts: &CsvOptions,
 ) -> std::io::Result<DataLake> {
-    load_dir_with_numeric(dir, model, opts).map(|(lake, _)| lake)
+    ingest_dir(dir, model, opts)
+        .map(|i| i.lake)
+        .map_err(std::io::Error::from)
 }
 
 /// As [`load_dir`], but additionally profiling the *numeric* columns that
@@ -207,30 +281,88 @@ pub fn load_dir_with_numeric<M: EmbeddingModel>(
     model: &M,
     opts: &CsvOptions,
 ) -> std::io::Result<(DataLake, NumericCatalog)> {
+    ingest_dir(dir, model, opts)
+        .map(|i| (i.lake, i.numeric))
+        .map_err(std::io::Error::from)
+}
+
+/// The robust ingest path: load every `*.csv` under `dir` (non-recursive),
+/// quarantining unreadable / malformed files into the [`IngestReport`]
+/// instead of aborting. Only a failure to list `dir` itself is fatal.
+///
+/// Fault-injection site `ingest.read` (see `dln-fault`): when armed, a
+/// successful file read is turned into a synthetic IO error, exercising the
+/// quarantine path deterministically.
+pub fn ingest_dir<M: EmbeddingModel>(
+    dir: &Path,
+    model: &M,
+    opts: &CsvOptions,
+) -> Result<Ingest, DlnError> {
+    let mut report = IngestReport::default();
     let mut catalog = NumericCatalog::default();
     let mut builder = LakeBuilder::new(model.dim());
-    let mut entries: Vec<_> = std::fs::read_dir(dir)?
-        .filter_map(Result::ok)
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
-        .collect();
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| DlnError::io(format!("listing {}", dir.display()), e))?;
+    let mut entries: Vec<_> = Vec::new();
+    for entry in listing {
+        match entry {
+            Ok(e) => entries.push(e.path()),
+            Err(e) => {
+                // An entry the OS yielded but could not stat: count it
+                // instead of silently dropping it (it used to be a
+                // `.filter_map(Result::ok)`).
+                report.unreadable_dir_entries += 1;
+                eprintln!(
+                    "warning: unreadable directory entry under {}: {e}",
+                    dir.display()
+                );
+            }
+        }
+    }
+    entries.retain(|p| p.extension().is_some_and(|e| e == "csv"));
     entries.sort();
     for path in entries {
         let stem = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "table".to_string());
-        let bytes = std::fs::read(&path)?;
-        let rows = parse_csv(&bytes);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) if dln_fault::should_fail("ingest.read") => {
+                let _ = b;
+                report.io_errors += 1;
+                report.quarantine(&path, "injected IO fault (ingest.read)");
+                continue;
+            }
+            Ok(b) => b,
+            Err(e) => {
+                report.io_errors += 1;
+                report.quarantine(&path, format!("read failed: {e}"));
+                continue;
+            }
+        };
+        if std::str::from_utf8(&bytes).is_err() {
+            report.invalid_utf8 += 1;
+            report.quarantine(&path, "invalid UTF-8 content");
+            continue;
+        }
+        let (rows, unbalanced) = parse_csv_checked(&bytes);
+        if unbalanced {
+            report.malformed_csv += 1;
+            report.quarantine(&path, "unbalanced quote (truncated or corrupt CSV)");
+            continue;
+        }
         let mut parsed = extract_text_columns(&stem, &rows, opts);
         let tags_path = path.with_extension("tags");
         if tags_path.exists() {
-            let f = std::fs::File::open(&tags_path)?;
-            for line in std::io::BufReader::new(f).lines() {
-                let line = line?;
-                let t = line.trim();
-                if !t.is_empty() {
-                    parsed.tags.push(t.to_string());
+            match read_tag_sidecar(&tags_path) {
+                Ok(tags) => parsed.tags.extend(tags),
+                Err(e) => {
+                    // The table itself is fine; fall back to the stem tag.
+                    report.tag_sidecar_errors += 1;
+                    eprintln!(
+                        "warning: unreadable tag sidecar {}: {e} (using table name)",
+                        tags_path.display()
+                    );
                 }
             }
         }
@@ -251,6 +383,7 @@ pub fn load_dir_with_numeric<M: EmbeddingModel>(
             }
         }
         if parsed.text_columns.is_empty() {
+            report.tables_without_text += 1;
             continue; // no organizable content (§3.1: text attributes only)
         }
         let t = builder.begin_table(&parsed.name);
@@ -258,10 +391,28 @@ pub fn load_dir_with_numeric<M: EmbeddingModel>(
             builder.add_tag(t, tag);
         }
         for (col, values) in &parsed.text_columns {
-            builder.add_attribute(t, col, values.iter().map(String::as_str), model);
+            builder.try_add_attribute(t, col, values.iter().map(String::as_str), model)?;
+        }
+        report.tables_loaded += 1;
+    }
+    Ok(Ingest {
+        lake: builder.build(),
+        numeric: catalog,
+        report,
+    })
+}
+
+fn read_tag_sidecar(path: &Path) -> std::io::Result<Vec<String>> {
+    let f = std::fs::File::open(path)?;
+    let mut tags = Vec::new();
+    for line in std::io::BufReader::new(f).lines() {
+        let line = line?;
+        let t = line.trim();
+        if !t.is_empty() {
+            tags.push(t.to_string());
         }
     }
-    Ok((builder.build(), catalog))
+    Ok(tags)
 }
 
 #[cfg(test)]
@@ -390,5 +541,81 @@ mod tests {
             .find(|t| t.name == "beta")
             .expect("beta table present");
         assert_eq!(beta.attrs.len(), 1);
+    }
+
+    #[test]
+    fn parse_csv_checked_flags_unbalanced_quote() {
+        let (rows, unbalanced) = parse_csv_checked(b"a,b\n\"truncated mid-fie");
+        assert!(unbalanced, "EOF inside an open quote must be flagged");
+        assert_eq!(rows.len(), 2, "partial rows are still returned");
+        let (_, balanced) = parse_csv_checked(b"a,b\n\"ok, quoted\",2\n");
+        assert!(!balanced);
+    }
+
+    #[test]
+    fn malformed_inputs_are_quarantined_not_fatal() {
+        let m = SyntheticEmbedding::with_vocab_config(VocabularyConfig {
+            n_topics: 2,
+            words_per_topic: 4,
+            dim: 8,
+            sigma: 0.3,
+            seed: 4,
+            n_supertopics: 0,
+            supertopic_sigma: 0.7,
+        });
+        let w0 = m.vocab().word(dln_embed::TokenId(0)).to_string();
+        let dir = std::env::temp_dir().join(format!("dln_csv_quar_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // One healthy table, one binary-junk file, one truncated quoted file.
+        std::fs::write(dir.join("good.csv"), format!("col\n{w0}\n{w0}\n")).unwrap();
+        std::fs::write(dir.join("junk.csv"), [0xFFu8, 0xFE, 0x00, 0x41]).unwrap();
+        std::fs::write(dir.join("torn.csv"), b"col\n\"cut mid-quo").unwrap();
+        let ingest = ingest_dir(&dir, &m, &CsvOptions::default()).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(ingest.lake.n_tables(), 1, "only the healthy table loads");
+        assert_eq!(ingest.report.tables_loaded, 1);
+        assert_eq!(ingest.report.invalid_utf8, 1);
+        assert_eq!(ingest.report.malformed_csv, 1);
+        assert_eq!(ingest.report.total_quarantined(), 2);
+        assert_eq!(ingest.report.quarantined.len(), 2);
+        assert!(ingest
+            .report
+            .quarantined
+            .iter()
+            .any(|(p, _)| p.ends_with("junk.csv")));
+    }
+
+    #[test]
+    fn injected_read_fault_quarantines_deterministically() {
+        let m = SyntheticEmbedding::with_vocab_config(VocabularyConfig {
+            n_topics: 2,
+            words_per_topic: 4,
+            dim: 8,
+            sigma: 0.3,
+            seed: 4,
+            n_supertopics: 0,
+            supertopic_sigma: 0.7,
+        });
+        let w0 = m.vocab().word(dln_embed::TokenId(0)).to_string();
+        let dir = std::env::temp_dir().join(format!("dln_csv_fault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["a", "b", "c", "d"] {
+            std::fs::write(dir.join(format!("{name}.csv")), format!("col\n{w0}\n")).unwrap();
+        }
+        let run = |spec: &str| {
+            let _fp = dln_fault::scoped(spec).unwrap();
+            ingest_dir(&dir, &m, &CsvOptions::default()).unwrap()
+        };
+        let all_fail = run("ingest.read:1.0:0");
+        assert_eq!(all_fail.report.io_errors, 4);
+        assert_eq!(all_fail.lake.n_tables(), 0);
+        let some = run("ingest.read:0.5:9");
+        let again = run("ingest.read:0.5:9");
+        assert_eq!(
+            some.report, again.report,
+            "same failpoint seed, same quarantine outcome"
+        );
+        assert_eq!(some.report.io_errors + some.report.tables_loaded, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,6 +13,10 @@
 //! ingester in [`csv`].
 
 #![warn(missing_docs)]
+// Robustness contract (ISSUE 3): ingest must degrade gracefully, never
+// abort on a malformed input. Panicking extractors are banned outside
+// tests; fallible paths return `DlnError`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod builder;
 pub mod csv;
@@ -21,6 +25,7 @@ pub mod numeric;
 pub mod stats;
 
 pub use builder::LakeBuilder;
+pub use csv::{Ingest, IngestReport};
 pub use model::{AttrId, Attribute, DataLake, Table, TableId, Tag, TagId};
 pub use numeric::{NumericCatalog, NumericColumn, NumericProfile};
 pub use stats::LakeStats;

@@ -46,7 +46,7 @@ impl NumericProfile {
         }
         let n = vals.len();
         let mut sorted = vals.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(f64::total_cmp);
         let mean = vals.iter().sum::<f64>() / n as f64;
         let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         let q = |p: f64| sorted[((n - 1) as f64 * p).round() as usize];

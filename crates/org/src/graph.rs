@@ -166,6 +166,36 @@ impl Organization {
             .sum()
     }
 
+    /// Structural + topical fingerprint of the alive part of the
+    /// organization (FNV-folded): slot identities, tag assignments, exact
+    /// child/parent list order, and unit-topic bits. Two organizations
+    /// with equal fingerprints are bit-identical as far as the search and
+    /// evaluator are concerned. Used for cheap bit-identity assertions and
+    /// to bind checkpoints to the initial organization they resumed from.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3)
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = mix(h, self.n_slots() as u64);
+        h = mix(h, self.n_alive() as u64);
+        for s in self.alive_ids() {
+            let st = self.state(s);
+            h = mix(h, s.index() as u64);
+            h = mix(h, st.tag.map(|t| t as u64 + 1).unwrap_or(0));
+            for &c in &st.children {
+                h = mix(h, c.index() as u64 ^ 0x10_0000);
+            }
+            for &p in &st.parents {
+                h = mix(h, p.index() as u64 ^ 0x20_0000);
+            }
+            for v in &st.unit_topic {
+                h = mix(h, v.to_bits() as u64);
+            }
+        }
+        h
+    }
+
     /// Iterate over alive state ids.
     pub fn alive_ids(&self) -> impl Iterator<Item = StateId> + '_ {
         self.states

@@ -31,7 +31,10 @@
 //!   with incremental affected-subgraph re-evaluation (§3.4).
 //! * [`approx`] — attribute representatives for approximate evaluation
 //!   (§3.4).
-//! * [`search`] — the Metropolis local-search loop (§3.3, Eq 9).
+//! * [`search`] — the Metropolis local-search loop (§3.3, Eq 9), with
+//!   deadline-aware, checkpointed execution and bit-identical resume.
+//! * [`checkpoint`] — versioned, checksummed search checkpoints (the
+//!   crash-safety layer; see DESIGN.md §5c).
 //! * [`multidim`] — k-dimensional organizations (§2.5, Eq 8) with parallel
 //!   per-dimension optimization.
 //! * [`success`] — the success-probability evaluation measure (§4.2).
@@ -44,6 +47,7 @@
 pub mod approx;
 pub mod bitset;
 pub mod builder;
+pub mod checkpoint;
 pub mod ctx;
 pub mod eval;
 pub mod export;
@@ -59,6 +63,7 @@ pub mod success;
 pub use approx::Representatives;
 pub use bitset::BitSet;
 pub use builder::{BuiltOrganization, OrganizerBuilder};
+pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use ctx::{LocalAttr, LocalTag, OrgContext};
 pub use eval::{Evaluator, NavConfig};
 pub use export::{load_json, save_json, to_dot};
@@ -68,5 +73,5 @@ pub use init::{bisecting_org, clustering_org, flat_org, random_org};
 pub use multidim::{MultiDimConfig, MultiDimOrganization};
 pub use navigate::Navigator;
 pub use ops::{OpKind, OpOutcome};
-pub use search::{IterStats, SearchConfig, SearchStats};
+pub use search::{IterStats, SearchConfig, SearchStats, StopReason};
 pub use success::{success_curve, SuccessCurve};

@@ -28,11 +28,38 @@
 //! results, and `B = 1` reproduces the serial walk ([`optimize_reference`])
 //! bit-for-bit. See DESIGN.md §5b for the resolution protocol and the
 //! determinism argument.
+//!
+//! ## Crash safety: deadline, checkpoint, resume
+//!
+//! Long runs (the paper's Socrata scale is multi-hour) survive
+//! interruption: [`SearchConfig::deadline`] bounds wall-clock and stops
+//! the walk gracefully at a round boundary with
+//! [`StopReason::Deadline`]; [`SearchConfig::checkpoint`] periodically
+//! persists a [`Checkpoint`] (committed-op log, RNG state, sweep cursor,
+//! counters, trajectory) from which [`resume`] continues **bit-identically**
+//! — the op log replays against the initial organization through the same
+//! incremental evaluator, and rejected proposals roll back bit-exactly, so
+//! the replayed state equals the live state at the checkpointed round, bit
+//! for bit. Checkpoints only land at round boundaries, where the serial
+//! RNG stream is well-defined even under speculative batching. Three
+//! `dln-fault` failpoints exercise the machinery: `search.kill` (simulated
+//! crash at a round boundary), `checkpoint.torn` (partial checkpoint
+//! write, rejected by checksum on load), and `search.spec_panic` (a
+//! panicking speculative draft evaluation — caught, the poisoned replica
+//! discarded, and the round degraded to the lazy master-only schedule,
+//! which produces the same result as the fault-free run). See DESIGN.md
+//! §5c.
+
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use dln_fault::{DlnError, DlnResult};
+
 use crate::approx::Representatives;
+use crate::checkpoint::{self, Checkpoint, CheckpointConfig, CursorSnapshot};
 use crate::ctx::OrgContext;
 use crate::eval::{DeltaStats, Evaluator, NavConfig};
 use crate::graph::{Organization, StateId};
@@ -70,6 +97,19 @@ pub struct SearchConfig {
     pub batch_size: usize,
     /// RNG seed for proposal choice and Metropolis acceptance.
     pub seed: u64,
+    /// Wall-clock budget. Checked at round boundaries; when exceeded the
+    /// run writes a final checkpoint (if checkpointing is configured),
+    /// restores the best organization seen and returns with
+    /// [`StopReason::Deadline`]. Defaults to the `DLN_DEADLINE_MS`
+    /// environment variable, else unlimited. Does not affect the walk
+    /// itself — a deadline run resumed to completion is bit-identical to
+    /// an uninterrupted one.
+    pub deadline: Option<Duration>,
+    /// Periodic checkpointing: where to write and how often (in resolution
+    /// rounds). Defaults to the `DLN_CKPT_PATH` / `DLN_CKPT_EVERY`
+    /// environment variables, else off. Write failures degrade to a
+    /// warning — a failed checkpoint never aborts the search.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for SearchConfig {
@@ -83,6 +123,8 @@ impl Default for SearchConfig {
             acceptance_power: 400.0,
             batch_size: batch_size_from_env(),
             seed: 0x0DD5_EA4C,
+            deadline: deadline_from_env(),
+            checkpoint: checkpoint_from_env(),
         }
     }
 }
@@ -95,6 +137,55 @@ fn batch_size_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&b| b >= 1)
         .unwrap_or(1)
+}
+
+/// The `DLN_DEADLINE_MS` environment override for
+/// [`SearchConfig::deadline`] (ignored unless it parses).
+fn deadline_from_env() -> Option<Duration> {
+    std::env::var("DLN_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// The `DLN_CKPT_PATH` / `DLN_CKPT_EVERY` environment overrides for
+/// [`SearchConfig::checkpoint`] (off unless a non-empty path is set;
+/// interval defaults to every 64 rounds).
+fn checkpoint_from_env() -> Option<CheckpointConfig> {
+    let path = std::env::var("DLN_CKPT_PATH").ok()?;
+    let path = path.trim();
+    if path.is_empty() {
+        return None;
+    }
+    let every_rounds = std::env::var("DLN_CKPT_EVERY")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(64);
+    Some(CheckpointConfig {
+        path: std::path::PathBuf::from(path),
+        every_rounds,
+    })
+}
+
+/// Fingerprint of the walk-relevant parts of a [`SearchConfig`] (the
+/// deadline and checkpoint knobs are excluded — they never change the
+/// trajectory; neither does the worker count, which is not part of the
+/// config at all). Stored in checkpoints so a resume under a different
+/// configuration is refused instead of silently diverging.
+fn config_fingerprint(cfg: &SearchConfig) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x100_0000_01b3)
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = mix(h, cfg.seed);
+    h = mix(h, cfg.batch_size.max(1) as u64);
+    h = mix(h, cfg.plateau_iters as u64);
+    h = mix(h, cfg.max_iters as u64);
+    h = mix(h, cfg.min_improvement.to_bits());
+    h = mix(h, cfg.acceptance_power.to_bits());
+    h = mix(h, cfg.rep_fraction.to_bits());
+    h = mix(h, cfg.nav.gamma.to_bits() as u64);
+    h
 }
 
 /// Per-proposal record (feeds the Figure 3 pruning analysis).
@@ -122,6 +213,28 @@ pub struct IterStats {
     pub attrs_covered: usize,
 }
 
+/// Why an optimization run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No significant improvement over the last
+    /// [`SearchConfig::plateau_iters`] proposals (the paper's criterion).
+    Plateau,
+    /// The [`SearchConfig::max_iters`] safety cap was reached.
+    MaxIters,
+    /// A full sweep produced no applicable proposal anywhere (e.g. a flat
+    /// organization).
+    NoProposals,
+    /// The wall-clock [`SearchConfig::deadline`] expired; a final
+    /// checkpoint was written if checkpointing is configured, and the run
+    /// can be continued bit-identically with [`resume`].
+    Deadline,
+    /// The `search.kill` failpoint fired (simulated crash at a round
+    /// boundary; only in fault-injection runs). Unlike every other stop,
+    /// the best-seen organization is *not* restored — a crash would not
+    /// have restored it either.
+    Killed,
+}
+
 /// Summary of one optimization run.
 #[derive(Clone, Debug)]
 pub struct SearchStats {
@@ -136,10 +249,16 @@ pub struct SearchStats {
     /// Speculative evaluations that were cancelled because an earlier
     /// candidate of their batch won the round (0 when `batch_size` is 1).
     pub speculative_evals: usize,
-    /// Wall-clock duration of the search.
+    /// Wall-clock duration of the search. On a resumed run this includes
+    /// the wall-clock accumulated before the checkpoint.
     pub duration: std::time::Duration,
     /// Number of evaluation queries (representatives).
     pub n_queries: usize,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Resolution rounds completed (equals `iterations` when
+    /// `batch_size` is 1 and every round resolves one proposal).
+    pub rounds: usize,
     /// Per-proposal records.
     pub iter_stats: Vec<IterStats>,
 }
@@ -312,49 +431,34 @@ fn sync_replicas(
     });
 }
 
-/// Optimize `org` in place. Returns the run statistics.
-///
-/// With [`SearchConfig::batch_size`] = 1 this is the serial walk of
-/// [`optimize_reference`], bit for bit; larger batch widths follow the
-/// speculative resolution protocol described in the module docs.
-pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) -> SearchStats {
-    let start = std::time::Instant::now();
-    let reps = if cfg.rep_fraction >= 1.0 {
-        Representatives::exact(ctx)
-    } else {
-        Representatives::kmedoids(ctx, cfg.rep_fraction, cfg.seed ^ 0x4e9d)
-    };
-    let mut ev = Evaluator::new(ctx, org, cfg.nav, &reps);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let batch_size = cfg.batch_size.max(1);
-    let initial = ev.effectiveness();
-    let mut eff = initial;
-    let mut best = initial;
-    let mut best_org: Organization = org.clone();
-    let mut plateau = 0usize;
-    let mut iterations = 0usize;
-    let mut accepted = 0usize;
-    let mut speculative_evals = 0usize;
-    let mut iter_stats: Vec<IterStats> = Vec::new();
-    // Reachability buffers hoisted out of the proposal loop: the evaluator
-    // serves them from maintained column sums, so the per-round cost is
-    // one memcpy instead of an allocation plus an O(queries × slots) scan.
-    let mut reach_sweep: Vec<f64> = Vec::new();
-    let mut reach_now: Vec<f64> = Vec::new();
-    let mut levels: Vec<u32> = Vec::new();
-    // Worker replicas for eager speculation, created lazily on the first
-    // round that can use them (more than one draft AND more than one
-    // worker) and kept in lock-step with the master afterwards.
-    let mut replicas: Vec<Replica> = Vec::new();
-    let mut drafts: Vec<Draft> = Vec::new();
-    let mut results: Vec<SpecResult> = Vec::new();
+/// The live sweep cursor: where the level walk currently is. The owned
+/// twin of [`CursorSnapshot`] (which is its wire form in checkpoints).
+struct Cursor {
+    /// Level snapshot taken at sweep start (`u32::MAX` = unreachable).
+    levels: Vec<u32>,
+    /// Sweep-start reachability; orders every level visit list of this
+    /// sweep.
+    reach_sweep: Vec<f64>,
+    /// Deepest level of this sweep.
+    max_level: u32,
+    /// Level currently being walked (0: sweep not yet entered a level).
+    level: u32,
+    /// Visit list of the current level.
+    at_level: Vec<StateId>,
+    /// Next position in `at_level`.
+    idx: usize,
+    /// Whether any proposal applied so far in this sweep.
+    proposed_this_sweep: bool,
+}
 
-    'outer: loop {
-        // One downward sweep: levels snapshotted at sweep start (copied out
-        // of the organization's cache — proposals mutate the DAG mid-sweep),
-        // states in each level ordered by ascending reachability.
-        levels.clear();
-        levels.extend_from_slice(org.levels());
+impl Cursor {
+    /// Begin a new downward sweep: snapshot levels (copied out of the
+    /// organization's cache — proposals mutate the DAG mid-sweep) and the
+    /// sweep-start reachability. The cursor starts above level 1; the
+    /// positioning loop descends into it.
+    fn start_sweep(org: &Organization, ev: &Evaluator) -> Cursor {
+        let levels = org.levels().to_vec();
+        let mut reach_sweep = Vec::new();
         ev.reachability_into(&mut reach_sweep);
         let max_level = levels
             .iter()
@@ -362,294 +466,658 @@ pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) ->
             .max()
             .copied()
             .unwrap_or(0);
-        let mut proposed_this_sweep = false;
-        for level in 1..=max_level {
-            let mut at_level: Vec<StateId> = org
-                .alive_ids()
-                .filter(|s| levels.get(s.index()).copied() == Some(level))
-                .collect();
-            at_level.sort_by(|a, b| {
-                reach_sweep[a.index()]
-                    .partial_cmp(&reach_sweep[b.index()])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let mut idx = 0usize;
-            while idx < at_level.len() {
-                if iterations >= cfg.max_iters {
-                    break 'outer;
-                }
-                if !org.state(at_level[idx]).alive {
-                    idx += 1; // eliminated earlier in this sweep
-                    continue;
-                }
-                // Draft phase: collect up to B alive targets (never more
-                // proposals than max_iters still allows), drawing each
-                // candidate's operation-order bit in visit order so the
-                // RNG stream matches the serial walk.
-                let budget = batch_size.min(cfg.max_iters - iterations);
-                drafts.clear();
-                let mut j = idx;
-                while j < at_level.len() && drafts.len() < budget {
-                    let s = at_level[j];
-                    j += 1;
-                    if !org.state(s).alive {
-                        continue;
-                    }
-                    drafts.push(Draft {
-                        target: s,
-                        first_add: rng.random(),
-                        resume_at: j,
-                    });
-                }
-                let states_alive = org.n_alive();
-                // Current reachability guides every operation of the round.
-                ev.reachability_into(&mut reach_now);
-                // Eager speculation: with several drafts and several
-                // workers, evaluate every candidate concurrently on
-                // replicas. Otherwise evaluation happens lazily below,
-                // interleaved with the resolution — same results, no
-                // wasted work past the winner.
-                let eager = drafts.len() > 1 && rayon::current_num_threads() > 1;
-                if eager {
-                    if replicas.is_empty() {
-                        let w = rayon::current_num_threads().min(batch_size);
-                        replicas = (0..w)
-                            .map(|_| Replica {
-                                org: org.clone(),
-                                ev: ev.fork(),
-                            })
-                            .collect();
-                    }
-                    results.clear();
-                    results.resize(
-                        drafts.len(),
-                        SpecResult {
-                            kind: None,
-                            new_eff: 0.0,
-                            stats: DeltaStats::default(),
-                        },
-                    );
-                    let span = drafts
-                        .len()
-                        .div_ceil(replicas.len().min(drafts.len()))
-                        .max(1);
-                    let reach: &[f64] = &reach_now;
-                    let draft_slice: &[Draft] = &drafts;
-                    std::thread::scope(|scope| {
-                        for (rep, (chunk_res, chunk_drafts)) in replicas
-                            .iter_mut()
-                            .zip(results.chunks_mut(span).zip(draft_slice.chunks(span)))
-                        {
-                            scope.spawn(move || {
-                                rayon::run_inline(|| {
-                                    for (res, &d) in chunk_res.iter_mut().zip(chunk_drafts) {
-                                        *res = speculate(rep, ctx, d, reach);
-                                    }
-                                })
-                            });
-                        }
-                    });
-                }
-                // Fixed-order resolution: candidates face the Metropolis
-                // test in visit order; the first acceptance wins the round
-                // and cancels the rest.
-                let mut next_idx = j;
-                let mut stop = false;
-                for i in 0..drafts.len() {
-                    let d = drafts[i];
-                    iterations += 1;
-                    if eager {
-                        let r = results[i].clone();
-                        let Some(kind) = r.kind else {
-                            plateau += 1;
-                            iter_stats.push(IterStats {
-                                op: None,
-                                accepted: false,
-                                effectiveness: eff,
-                                states_visited: 0,
-                                states_alive,
-                                queries_evaluated: 0,
-                                attrs_covered: 0,
-                            });
-                            if plateau >= cfg.plateau_iters {
-                                stop = true;
-                                break;
-                            }
-                            continue;
-                        };
-                        proposed_this_sweep = true;
-                        let accept = accept_decision(&mut rng, cfg, r.new_eff, eff);
-                        if !accept {
-                            // The speculation lived and died on a replica;
-                            // the master never applied it.
-                            track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
-                            iter_stats.push(IterStats {
-                                op: Some(kind),
-                                accepted: false,
-                                effectiveness: eff,
-                                states_visited: r.stats.states_visited,
-                                states_alive,
-                                queries_evaluated: r.stats.queries_evaluated,
-                                attrs_covered: r.stats.attrs_covered,
-                            });
-                            if plateau >= cfg.plateau_iters {
-                                stop = true;
-                                break;
-                            }
-                            continue;
-                        }
-                        // Winner: replay on the master (bit-identical to
-                        // the replica's speculative application).
-                        let outcome = ops::try_op(org, ctx, d.target, &reach_now, kind)
-                            .expect("drafted op replays on the master");
-                        let (_undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
-                        let master_eff = ev.effectiveness();
-                        debug_assert_eq!(
-                            master_eff.to_bits(),
-                            r.new_eff.to_bits(),
-                            "replica diverged from the master"
-                        );
-                        accepted += 1;
-                        eff = master_eff;
-                        let mut folded = delta;
-                        for r2 in &results[i + 1..] {
-                            if r2.kind.is_some() {
-                                folded.states_visited += r2.stats.states_visited;
-                                folded.queries_evaluated += r2.stats.queries_evaluated;
-                                folded.attrs_covered += r2.stats.attrs_covered;
-                                speculative_evals += 1;
-                            }
-                        }
-                        sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);
-                        track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
-                        iter_stats.push(IterStats {
-                            op: Some(kind),
-                            accepted: true,
-                            effectiveness: eff,
-                            states_visited: folded.states_visited,
-                            states_alive,
-                            queries_evaluated: folded.queries_evaluated,
-                            attrs_covered: folded.attrs_covered,
-                        });
-                        next_idx = d.resume_at;
-                        if plateau >= cfg.plateau_iters {
-                            stop = true;
-                        }
-                        break;
-                    } else {
-                        // Lazy resolution on the master.
-                        let outcome = ops::propose(org, ctx, d.target, &reach_now, d.first_add);
-                        let Some(outcome) = outcome else {
-                            plateau += 1;
-                            iter_stats.push(IterStats {
-                                op: None,
-                                accepted: false,
-                                effectiveness: eff,
-                                states_visited: 0,
-                                states_alive,
-                                queries_evaluated: 0,
-                                attrs_covered: 0,
-                            });
-                            if plateau >= cfg.plateau_iters {
-                                stop = true;
-                                break;
-                            }
-                            continue;
-                        };
-                        proposed_this_sweep = true;
-                        let kind = outcome.kind;
-                        let (undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
-                        let new_eff = ev.effectiveness();
-                        let accept = accept_decision(&mut rng, cfg, new_eff, eff);
-                        if !accept {
-                            ev.rollback(undo_ev);
-                            ops::undo(org, ctx, outcome);
-                            track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
-                            iter_stats.push(IterStats {
-                                op: Some(kind),
-                                accepted: false,
-                                effectiveness: eff,
-                                states_visited: delta.states_visited,
-                                states_alive,
-                                queries_evaluated: delta.queries_evaluated,
-                                attrs_covered: delta.attrs_covered,
-                            });
-                            if plateau >= cfg.plateau_iters {
-                                stop = true;
-                                break;
-                            }
-                            continue;
-                        }
-                        accepted += 1;
-                        eff = new_eff;
-                        let mut folded = delta;
-                        if i + 1 < drafts.len() {
-                            // Charge the cancelled speculations of this
-                            // round as eager evaluation would have: lift
-                            // the winner's structural change (the
-                            // evaluator delta stays applied — the census
-                            // below reads only the graph), measure each
-                            // trailing draft against the round's base
-                            // organization, then replay the winner.
-                            ops::undo(org, ctx, outcome);
-                            for d2 in &drafts[i + 1..] {
-                                if let Some(o2) =
-                                    ops::propose(org, ctx, d2.target, &reach_now, d2.first_add)
-                                {
-                                    let s2 = ev.delta_stats_only(org, &o2.dirty_parents);
-                                    folded.states_visited += s2.states_visited;
-                                    folded.queries_evaluated += s2.queries_evaluated;
-                                    folded.attrs_covered += s2.attrs_covered;
-                                    speculative_evals += 1;
-                                    ops::undo(org, ctx, o2);
-                                }
-                            }
-                            let replay = ops::try_op(org, ctx, d.target, &reach_now, kind)
-                                .expect("winner replays after the speculation census");
-                            debug_assert_eq!(replay.kind, kind);
-                        }
-                        sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);
-                        track_best(org, eff, cfg, &mut best, &mut best_org, &mut plateau);
-                        iter_stats.push(IterStats {
-                            op: Some(kind),
-                            accepted: true,
-                            effectiveness: eff,
-                            states_visited: folded.states_visited,
-                            states_alive,
-                            queries_evaluated: folded.queries_evaluated,
-                            attrs_covered: folded.attrs_covered,
-                        });
-                        next_idx = d.resume_at;
-                        if plateau >= cfg.plateau_iters {
-                            stop = true;
-                        }
-                        break;
-                    }
-                }
-                idx = next_idx;
-                if stop {
-                    break 'outer;
+        Cursor {
+            levels,
+            reach_sweep,
+            max_level,
+            level: 0,
+            at_level: Vec::new(),
+            idx: 0,
+            proposed_this_sweep: false,
+        }
+    }
+
+    /// Build the visit list of `level`: alive states at that level of the
+    /// sweep snapshot, in ascending sweep-start reachability.
+    fn descend(&mut self, org: &Organization) {
+        self.level += 1;
+        let level = self.level;
+        self.at_level = org
+            .alive_ids()
+            .filter(|s| self.levels.get(s.index()).copied() == Some(level))
+            .collect();
+        self.at_level.sort_by(|a, b| {
+            self.reach_sweep[a.index()]
+                .partial_cmp(&self.reach_sweep[b.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.idx = 0;
+    }
+
+    fn to_snapshot(&self) -> CursorSnapshot {
+        CursorSnapshot {
+            levels: self.levels.clone(),
+            reach_sweep: self.reach_sweep.clone(),
+            max_level: self.max_level,
+            level: self.level,
+            at_level: self.at_level.iter().map(|s| s.0).collect(),
+            idx: self.idx as u64,
+            proposed_this_sweep: self.proposed_this_sweep,
+        }
+    }
+
+    fn from_snapshot(s: &CursorSnapshot) -> Cursor {
+        Cursor {
+            levels: s.levels.clone(),
+            reach_sweep: s.reach_sweep.clone(),
+            max_level: s.max_level,
+            level: s.level,
+            at_level: s.at_level.iter().map(|&i| StateId(i)).collect(),
+            idx: s.idx as usize,
+            proposed_this_sweep: s.proposed_this_sweep,
+        }
+    }
+}
+
+/// The checkpointable search state: everything that evolves round to round
+/// except the organization and the evaluator, which are deterministic
+/// replays of `op_log` (rejected proposals roll back bit-exactly, so the
+/// replay lands on the identical bits).
+struct RunState {
+    rng: StdRng,
+    eff: f64,
+    best: f64,
+    best_org: Organization,
+    /// How many leading ops of `op_log` were committed when `best_org` was
+    /// captured (the best organization always coincides with a post-commit
+    /// state, so the count pins it exactly).
+    best_at_ops: u64,
+    plateau: usize,
+    iterations: usize,
+    accepted: usize,
+    speculative_evals: usize,
+    rounds: u64,
+    iter_stats: Vec<IterStats>,
+    /// Committed operations in order: `(target slot, encoded kind)`.
+    op_log: Vec<(u32, u8)>,
+    cursor: Cursor,
+}
+
+impl RunState {
+    /// Best-so-far tracking shared by every resolution outcome: the
+    /// Metropolis walk may wander through worse organizations, so the best
+    /// organization seen is kept and restored at the end ("finding an
+    /// organization that maximizes ...", Definition 3).
+    fn track_best(&mut self, org: &Organization, cfg: &SearchConfig) {
+        if self.eff > self.best + cfg.min_improvement {
+            self.best = self.eff;
+            self.best_org = org.clone();
+            self.best_at_ops = self.op_log.len() as u64;
+            self.plateau = 0;
+        } else {
+            if self.eff > self.best {
+                self.best = self.eff;
+                self.best_org = org.clone();
+                self.best_at_ops = self.op_log.len() as u64;
+            }
+            self.plateau += 1;
+        }
+    }
+
+    /// Snapshot the run into a serializable [`Checkpoint`].
+    fn to_checkpoint(
+        &self,
+        config_fingerprint: u64,
+        init_fingerprint: u64,
+        initial: f64,
+        elapsed: Duration,
+    ) -> Checkpoint {
+        Checkpoint {
+            config_fingerprint,
+            init_fingerprint,
+            rng_state: self.rng.state(),
+            iterations: self.iterations as u64,
+            accepted: self.accepted as u64,
+            speculative_evals: self.speculative_evals as u64,
+            plateau: self.plateau as u64,
+            rounds: self.rounds,
+            eff_bits: self.eff.to_bits(),
+            best_bits: self.best.to_bits(),
+            initial_bits: initial.to_bits(),
+            elapsed_nanos: elapsed.as_nanos() as u64,
+            best_at_ops: self.best_at_ops,
+            op_log: self.op_log.clone(),
+            iter_stats: self.iter_stats.clone(),
+            cursor: self.cursor.to_snapshot(),
+        }
+    }
+
+    /// Write a checkpoint, degrading a write failure to a warning — an
+    /// unwritable checkpoint path must not abort an otherwise healthy run.
+    fn write_checkpoint(
+        &self,
+        ckpt: &CheckpointConfig,
+        config_fingerprint: u64,
+        init_fingerprint: u64,
+        initial: f64,
+        elapsed: Duration,
+    ) {
+        let c = self.to_checkpoint(config_fingerprint, init_fingerprint, initial, elapsed);
+        if let Err(e) = c.save(&ckpt.path) {
+            eprintln!(
+                "warning: checkpoint write to {} failed: {e}",
+                ckpt.path.display()
+            );
+        }
+    }
+}
+
+/// Optimize `org` in place. Returns the run statistics.
+///
+/// With [`SearchConfig::batch_size`] = 1 this is the serial walk of
+/// [`optimize_reference`], bit for bit; larger batch widths follow the
+/// speculative resolution protocol described in the module docs. Honors
+/// [`SearchConfig::deadline`] and [`SearchConfig::checkpoint`].
+pub fn optimize(ctx: &OrgContext, org: &mut Organization, cfg: &SearchConfig) -> SearchStats {
+    match run_search(ctx, org, cfg, None) {
+        Ok(stats) => stats,
+        // A fresh run has no checkpoint to validate or replay, and
+        // checkpoint *write* failures degrade to warnings — run_search
+        // only errors on the resume path.
+        Err(e) => unreachable!("fresh search cannot fail: {e}"),
+    }
+}
+
+/// Continue an interrupted run from `ckpt`, bit-identically: the finished
+/// run (final organization, every `SearchStats` field except `duration`)
+/// equals what the uninterrupted run would have produced, at any worker
+/// count.
+///
+/// `org` must be the *initial* organization the original run started from
+/// (same bits); the committed-op log replays against it. Refuses with
+/// [`DlnError::InvalidConfig`] on a config or initial-organization
+/// mismatch and with [`DlnError::Corrupt`] when the replayed state fails
+/// the checkpoint's integrity bits.
+pub fn resume(
+    ctx: &OrgContext,
+    org: &mut Organization,
+    cfg: &SearchConfig,
+    ckpt: &Checkpoint,
+) -> DlnResult<SearchStats> {
+    run_search(ctx, org, cfg, Some(ckpt))
+}
+
+/// The search engine behind [`optimize`] and [`resume`].
+fn run_search(
+    ctx: &OrgContext,
+    org: &mut Organization,
+    cfg: &SearchConfig,
+    resume_from: Option<&Checkpoint>,
+) -> DlnResult<SearchStats> {
+    let start = Instant::now();
+    let reps = if cfg.rep_fraction >= 1.0 {
+        Representatives::exact(ctx)
+    } else {
+        Representatives::kmedoids(ctx, cfg.rep_fraction, cfg.seed ^ 0x4e9d)
+    };
+    let mut ev = Evaluator::new(ctx, org, cfg.nav, &reps);
+    let batch_size = cfg.batch_size.max(1);
+    let initial = ev.effectiveness();
+    let config_fp = config_fingerprint(cfg);
+    let init_fp = org.fingerprint();
+
+    let mut prior_elapsed = Duration::ZERO;
+    let mut st = match resume_from {
+        None => RunState {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            eff: initial,
+            best: initial,
+            best_org: org.clone(),
+            best_at_ops: 0,
+            plateau: 0,
+            iterations: 0,
+            accepted: 0,
+            speculative_evals: 0,
+            rounds: 0,
+            iter_stats: Vec::new(),
+            op_log: Vec::new(),
+            cursor: Cursor::start_sweep(org, &ev),
+        },
+        Some(ck) => {
+            if ck.config_fingerprint != config_fp {
+                return Err(DlnError::InvalidConfig(
+                    "checkpoint was produced under a different search configuration".into(),
+                ));
+            }
+            if ck.init_fingerprint != init_fp {
+                return Err(DlnError::InvalidConfig(
+                    "checkpoint was produced from a different initial organization".into(),
+                ));
+            }
+            if initial.to_bits() != ck.initial_bits {
+                return Err(DlnError::corrupt(
+                    "checkpoint replay",
+                    "initial effectiveness does not match the checkpoint",
+                ));
+            }
+            // Replay the committed-op log. Each op re-resolves under the
+            // reachability the master committed it under; applying it
+            // through the same incremental evaluator reproduces the live
+            // state bit for bit (rejected proposals rolled back
+            // bit-exactly, so they left no trace).
+            let mut best_org = org.clone();
+            let mut reach: Vec<f64> = Vec::new();
+            for (i, &(slot, kind_byte)) in ck.op_log.iter().enumerate() {
+                let kind = checkpoint::decode_kind(kind_byte).ok_or_else(|| {
+                    DlnError::corrupt("checkpoint replay", format!("bad op kind {kind_byte}"))
+                })?;
+                ev.reachability_into(&mut reach);
+                let outcome =
+                    ops::try_op(org, ctx, StateId(slot), &reach, kind).ok_or_else(|| {
+                        DlnError::corrupt(
+                            "checkpoint replay",
+                            format!("op {i} ({kind:?} at slot {slot}) no longer applies"),
+                        )
+                    })?;
+                let _ = ev.apply_delta(ctx, org, &outcome.dirty_parents);
+                if (i + 1) as u64 == ck.best_at_ops {
+                    best_org = org.clone();
                 }
             }
+            let eff = ev.effectiveness();
+            if eff.to_bits() != ck.eff_bits {
+                return Err(DlnError::corrupt(
+                    "checkpoint replay",
+                    "replayed effectiveness diverges from the checkpoint",
+                ));
+            }
+            prior_elapsed = Duration::from_nanos(ck.elapsed_nanos);
+            RunState {
+                rng: StdRng::from_state(ck.rng_state),
+                eff,
+                best: f64::from_bits(ck.best_bits),
+                best_org,
+                best_at_ops: ck.best_at_ops,
+                plateau: ck.plateau as usize,
+                iterations: ck.iterations as usize,
+                accepted: ck.accepted as usize,
+                speculative_evals: ck.speculative_evals as usize,
+                rounds: ck.rounds,
+                iter_stats: ck.iter_stats.clone(),
+                op_log: ck.op_log.clone(),
+                cursor: Cursor::from_snapshot(&ck.cursor),
+            }
         }
-        if !proposed_this_sweep {
-            break; // nothing applicable anywhere — e.g. a flat organization
+    };
+
+    // Scratch buffers and worker replicas (rebuilt lazily; never part of
+    // the checkpoint — replicas are bit-copies of the master).
+    let mut reach_now: Vec<f64> = Vec::new();
+    let mut replicas: Vec<Replica> = Vec::new();
+    let mut drafts: Vec<Draft> = Vec::new();
+    let mut results: Vec<SpecResult> = Vec::new();
+    let stop;
+
+    'outer: loop {
+        // Position the cursor on the next visit-list entry, crossing level
+        // and sweep boundaries as needed.
+        loop {
+            if st.cursor.idx < st.cursor.at_level.len() {
+                break;
+            }
+            if st.cursor.level >= st.cursor.max_level {
+                if !st.cursor.proposed_this_sweep && st.cursor.level > 0 {
+                    // Nothing applicable anywhere — e.g. a flat org.
+                    stop = StopReason::NoProposals;
+                    break 'outer;
+                }
+                if st.cursor.max_level == 0 {
+                    stop = StopReason::NoProposals;
+                    break 'outer;
+                }
+                st.cursor = Cursor::start_sweep(org, &ev);
+                continue;
+            }
+            st.cursor.descend(org);
+        }
+        if st.iterations >= cfg.max_iters {
+            stop = StopReason::MaxIters;
+            break 'outer;
+        }
+        if !org.state(st.cursor.at_level[st.cursor.idx]).alive {
+            st.cursor.idx += 1; // eliminated earlier in this sweep
+            continue;
+        }
+        // Draft phase: collect up to B alive targets (never more proposals
+        // than max_iters still allows), drawing each candidate's
+        // operation-order bit in visit order so the RNG stream matches the
+        // serial walk.
+        let budget = batch_size.min(cfg.max_iters - st.iterations);
+        drafts.clear();
+        let mut j = st.cursor.idx;
+        while j < st.cursor.at_level.len() && drafts.len() < budget {
+            let s = st.cursor.at_level[j];
+            j += 1;
+            if !org.state(s).alive {
+                continue;
+            }
+            drafts.push(Draft {
+                target: s,
+                first_add: st.rng.random(),
+                resume_at: j,
+            });
+        }
+        let states_alive = org.n_alive();
+        // Current reachability guides every operation of the round.
+        ev.reachability_into(&mut reach_now);
+        // Eager speculation: with several drafts and several workers,
+        // evaluate every candidate concurrently on replicas. Otherwise
+        // evaluation happens lazily below, interleaved with the resolution
+        // — same results, no wasted work past the winner.
+        let mut eager = drafts.len() > 1 && rayon::current_num_threads() > 1;
+        if eager {
+            if replicas.is_empty() {
+                let w = rayon::current_num_threads().min(batch_size);
+                replicas = (0..w)
+                    .map(|_| Replica {
+                        org: org.clone(),
+                        ev: ev.fork(),
+                    })
+                    .collect();
+            }
+            results.clear();
+            results.resize(
+                drafts.len(),
+                SpecResult {
+                    kind: None,
+                    new_eff: 0.0,
+                    stats: DeltaStats::default(),
+                },
+            );
+            let span = drafts
+                .len()
+                .div_ceil(replicas.len().min(drafts.len()))
+                .max(1);
+            let reach: &[f64] = &reach_now;
+            let draft_slice: &[Draft] = &drafts;
+            // Fault containment: a panic in a draft evaluation (the
+            // `search.spec_panic` failpoint, or a real bug) is caught on
+            // its own worker — letting it cross `thread::scope` would
+            // abort the whole search.
+            let mut poisoned = vec![false; replicas.len()];
+            std::thread::scope(|scope| {
+                for ((rep, poison), (chunk_res, chunk_drafts)) in replicas
+                    .iter_mut()
+                    .zip(poisoned.iter_mut())
+                    .zip(results.chunks_mut(span).zip(draft_slice.chunks(span)))
+                {
+                    scope.spawn(move || {
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            rayon::run_inline(|| {
+                                for (res, &d) in chunk_res.iter_mut().zip(chunk_drafts) {
+                                    dln_fault::maybe_panic("search.spec_panic");
+                                    *res = speculate(rep, ctx, d, reach);
+                                }
+                            })
+                        }));
+                        *poison = outcome.is_err();
+                    });
+                }
+            });
+            if poisoned.iter().any(|&p| p) {
+                // A worker died mid-speculation: its replica may hold a
+                // half-applied delta, so it is discarded (a survivor or
+                // the master will reseed the pool next eager round), its
+                // half-written results are thrown away, and the round
+                // degrades to the lazy master-only schedule — which
+                // produces bit-identical resolutions, so a faulted run
+                // still matches the fault-free one.
+                let mut keep = poisoned.iter().map(|&p| !p);
+                replicas.retain(|_| keep.next().unwrap_or(true));
+                results.clear();
+                eager = false;
+            }
+        }
+        // Fixed-order resolution: candidates face the Metropolis test in
+        // visit order; the first acceptance wins the round and cancels the
+        // rest.
+        let mut next_idx = j;
+        let mut plateau_stop = false;
+        for i in 0..drafts.len() {
+            let d = drafts[i];
+            st.iterations += 1;
+            if eager {
+                let r = results[i].clone();
+                let Some(kind) = r.kind else {
+                    st.plateau += 1;
+                    st.iter_stats.push(IterStats {
+                        op: None,
+                        accepted: false,
+                        effectiveness: st.eff,
+                        states_visited: 0,
+                        states_alive,
+                        queries_evaluated: 0,
+                        attrs_covered: 0,
+                    });
+                    if st.plateau >= cfg.plateau_iters {
+                        plateau_stop = true;
+                        break;
+                    }
+                    continue;
+                };
+                st.cursor.proposed_this_sweep = true;
+                let accept = accept_decision(&mut st.rng, cfg, r.new_eff, st.eff);
+                if !accept {
+                    // The speculation lived and died on a replica; the
+                    // master never applied it.
+                    st.track_best(org, cfg);
+                    st.iter_stats.push(IterStats {
+                        op: Some(kind),
+                        accepted: false,
+                        effectiveness: st.eff,
+                        states_visited: r.stats.states_visited,
+                        states_alive,
+                        queries_evaluated: r.stats.queries_evaluated,
+                        attrs_covered: r.stats.attrs_covered,
+                    });
+                    if st.plateau >= cfg.plateau_iters {
+                        plateau_stop = true;
+                        break;
+                    }
+                    continue;
+                }
+                // Winner: replay on the master (bit-identical to the
+                // replica's speculative application).
+                let outcome = ops::try_op(org, ctx, d.target, &reach_now, kind)
+                    .expect("drafted op replays on the master");
+                let (_undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
+                let master_eff = ev.effectiveness();
+                debug_assert_eq!(
+                    master_eff.to_bits(),
+                    r.new_eff.to_bits(),
+                    "replica diverged from the master"
+                );
+                st.accepted += 1;
+                st.eff = master_eff;
+                st.op_log.push((d.target.0, checkpoint::encode_kind(kind)));
+                let mut folded = delta;
+                for r2 in &results[i + 1..] {
+                    if r2.kind.is_some() {
+                        folded.states_visited += r2.stats.states_visited;
+                        folded.queries_evaluated += r2.stats.queries_evaluated;
+                        folded.attrs_covered += r2.stats.attrs_covered;
+                        st.speculative_evals += 1;
+                    }
+                }
+                sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);
+                st.track_best(org, cfg);
+                st.iter_stats.push(IterStats {
+                    op: Some(kind),
+                    accepted: true,
+                    effectiveness: st.eff,
+                    states_visited: folded.states_visited,
+                    states_alive,
+                    queries_evaluated: folded.queries_evaluated,
+                    attrs_covered: folded.attrs_covered,
+                });
+                next_idx = d.resume_at;
+                if st.plateau >= cfg.plateau_iters {
+                    plateau_stop = true;
+                }
+                break;
+            } else {
+                // Lazy resolution on the master.
+                let outcome = ops::propose(org, ctx, d.target, &reach_now, d.first_add);
+                let Some(outcome) = outcome else {
+                    st.plateau += 1;
+                    st.iter_stats.push(IterStats {
+                        op: None,
+                        accepted: false,
+                        effectiveness: st.eff,
+                        states_visited: 0,
+                        states_alive,
+                        queries_evaluated: 0,
+                        attrs_covered: 0,
+                    });
+                    if st.plateau >= cfg.plateau_iters {
+                        plateau_stop = true;
+                        break;
+                    }
+                    continue;
+                };
+                st.cursor.proposed_this_sweep = true;
+                let kind = outcome.kind;
+                let (undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
+                let new_eff = ev.effectiveness();
+                let accept = accept_decision(&mut st.rng, cfg, new_eff, st.eff);
+                if !accept {
+                    ev.rollback(undo_ev);
+                    ops::undo(org, ctx, outcome);
+                    st.track_best(org, cfg);
+                    st.iter_stats.push(IterStats {
+                        op: Some(kind),
+                        accepted: false,
+                        effectiveness: st.eff,
+                        states_visited: delta.states_visited,
+                        states_alive,
+                        queries_evaluated: delta.queries_evaluated,
+                        attrs_covered: delta.attrs_covered,
+                    });
+                    if st.plateau >= cfg.plateau_iters {
+                        plateau_stop = true;
+                        break;
+                    }
+                    continue;
+                }
+                st.accepted += 1;
+                st.eff = new_eff;
+                st.op_log.push((d.target.0, checkpoint::encode_kind(kind)));
+                let mut folded = delta;
+                if i + 1 < drafts.len() {
+                    // Charge the cancelled speculations of this round as
+                    // eager evaluation would have: lift the winner's
+                    // structural change (the evaluator delta stays applied
+                    // — the census below reads only the graph), measure
+                    // each trailing draft against the round's base
+                    // organization, then replay the winner.
+                    ops::undo(org, ctx, outcome);
+                    for d2 in &drafts[i + 1..] {
+                        if let Some(o2) =
+                            ops::propose(org, ctx, d2.target, &reach_now, d2.first_add)
+                        {
+                            let s2 = ev.delta_stats_only(org, &o2.dirty_parents);
+                            folded.states_visited += s2.states_visited;
+                            folded.queries_evaluated += s2.queries_evaluated;
+                            folded.attrs_covered += s2.attrs_covered;
+                            st.speculative_evals += 1;
+                            ops::undo(org, ctx, o2);
+                        }
+                    }
+                    let replay = ops::try_op(org, ctx, d.target, &reach_now, kind)
+                        .expect("winner replays after the speculation census");
+                    debug_assert_eq!(replay.kind, kind);
+                }
+                sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);
+                st.track_best(org, cfg);
+                st.iter_stats.push(IterStats {
+                    op: Some(kind),
+                    accepted: true,
+                    effectiveness: st.eff,
+                    states_visited: folded.states_visited,
+                    states_alive,
+                    queries_evaluated: folded.queries_evaluated,
+                    attrs_covered: folded.attrs_covered,
+                });
+                next_idx = d.resume_at;
+                if st.plateau >= cfg.plateau_iters {
+                    plateau_stop = true;
+                }
+                break;
+            }
+        }
+        st.cursor.idx = next_idx;
+        if plateau_stop {
+            stop = StopReason::Plateau;
+            break 'outer;
+        }
+        // Round-boundary services, in crash-consistent order: count the
+        // round; simulate a crash (kill fires *before* the periodic write,
+        // so the rounds since the last checkpoint are genuinely lost);
+        // periodic checkpoint; graceful deadline (always checkpoints).
+        st.rounds += 1;
+        if dln_fault::should_fail("search.kill") {
+            stop = StopReason::Killed;
+            break 'outer;
+        }
+        if let Some(ckpt) = &cfg.checkpoint {
+            if ckpt.every_rounds > 0 && st.rounds % ckpt.every_rounds as u64 == 0 {
+                st.write_checkpoint(
+                    ckpt,
+                    config_fp,
+                    init_fp,
+                    initial,
+                    prior_elapsed + start.elapsed(),
+                );
+            }
+        }
+        if let Some(limit) = cfg.deadline {
+            if prior_elapsed + start.elapsed() >= limit {
+                stop = StopReason::Deadline;
+                break 'outer;
+            }
         }
     }
-    if best > eff {
-        *org = best_org;
-        eff = best;
+    if stop == StopReason::Deadline {
+        if let Some(ckpt) = &cfg.checkpoint {
+            st.write_checkpoint(
+                ckpt,
+                config_fp,
+                init_fp,
+                initial,
+                prior_elapsed + start.elapsed(),
+            );
+        }
     }
-    SearchStats {
+    let mut eff = st.eff;
+    // A simulated crash keeps the walk's current organization — a real
+    // crash would not have restored the best either; the restore happens
+    // at the end of the *resumed* run instead.
+    if stop != StopReason::Killed && st.best > eff {
+        *org = st.best_org;
+        eff = st.best;
+    }
+    Ok(SearchStats {
         initial_effectiveness: initial,
         final_effectiveness: eff,
-        iterations,
-        accepted,
-        speculative_evals,
-        duration: start.elapsed(),
+        iterations: st.iterations,
+        accepted: st.accepted,
+        speculative_evals: st.speculative_evals,
+        duration: prior_elapsed + start.elapsed(),
         n_queries: ev.n_queries(),
-        iter_stats,
-    }
+        stop,
+        rounds: st.rounds as usize,
+        iter_stats: st.iter_stats,
+    })
 }
 
 /// The pre-batching serial proposal walk, kept verbatim as the bit-identity
@@ -679,10 +1147,12 @@ pub fn optimize_reference(
     let mut plateau = 0usize;
     let mut iterations = 0usize;
     let mut accepted = 0usize;
+    let mut rounds = 0usize;
     let mut iter_stats: Vec<IterStats> = Vec::new();
     let mut reach_sweep: Vec<f64> = Vec::new();
     let mut reach_now: Vec<f64> = Vec::new();
     let mut levels: Vec<u32> = Vec::new();
+    let stop;
 
     'outer: loop {
         levels.clear();
@@ -707,6 +1177,7 @@ pub fn optimize_reference(
             });
             for s in at_level {
                 if iterations >= cfg.max_iters {
+                    stop = StopReason::MaxIters;
                     break 'outer;
                 }
                 if !org.state(s).alive {
@@ -730,8 +1201,10 @@ pub fn optimize_reference(
                         attrs_covered: 0,
                     });
                     if plateau >= cfg.plateau_iters {
+                        stop = StopReason::Plateau;
                         break 'outer;
                     }
+                    rounds += 1;
                     continue;
                 };
                 proposed_this_sweep = true;
@@ -758,11 +1231,14 @@ pub fn optimize_reference(
                     attrs_covered: delta.attrs_covered,
                 });
                 if plateau >= cfg.plateau_iters {
+                    stop = StopReason::Plateau;
                     break 'outer;
                 }
+                rounds += 1;
             }
         }
         if !proposed_this_sweep {
+            stop = StopReason::NoProposals;
             break; // nothing applicable anywhere — e.g. a flat organization
         }
     }
@@ -778,6 +1254,8 @@ pub fn optimize_reference(
         speculative_evals: 0,
         duration: start.elapsed(),
         n_queries: ev.n_queries(),
+        stop,
+        rounds,
         iter_stats,
     }
 }
@@ -794,29 +1272,9 @@ mod tests {
     }
 
     /// Structural + topical fingerprint of the alive part of an
-    /// organization (FNV-folded), for cheap bit-identity assertions.
+    /// organization, for cheap bit-identity assertions.
     fn org_fingerprint(org: &Organization) -> u64 {
-        fn mix(h: u64, v: u64) -> u64 {
-            (h ^ v).wrapping_mul(0x100000001b3)
-        }
-        let mut h = 0xcbf29ce484222325u64;
-        h = mix(h, org.n_slots() as u64);
-        h = mix(h, org.n_alive() as u64);
-        for s in org.alive_ids() {
-            let st = org.state(s);
-            h = mix(h, s.index() as u64);
-            h = mix(h, st.tag.map(|t| t as u64 + 1).unwrap_or(0));
-            for &c in &st.children {
-                h = mix(h, c.index() as u64 ^ 0x10_0000);
-            }
-            for &p in &st.parents {
-                h = mix(h, p.index() as u64 ^ 0x20_0000);
-            }
-            for v in &st.unit_topic {
-                h = mix(h, v.to_bits() as u64);
-            }
-        }
-        h
+        org.fingerprint()
     }
 
     #[test]
@@ -1084,5 +1542,195 @@ mod tests {
             .map(|s| s.states_visited)
             .sum();
         assert!(winner_visited > 0);
+    }
+
+    /// A walk-parameter config with crash-safety knobs pinned off, so test
+    /// behavior cannot depend on `DLN_DEADLINE_MS` / `DLN_CKPT_PATH` in
+    /// the environment.
+    fn plain_cfg() -> SearchConfig {
+        SearchConfig {
+            deadline: None,
+            checkpoint: None,
+            ..Default::default()
+        }
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dln_search_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn stop_reasons_are_reported() {
+        let ctx = ctx();
+        // Plateau: nothing is ever significant, short plateau.
+        let mut org = clustering_org(&ctx);
+        let cfg = SearchConfig {
+            plateau_iters: 5,
+            min_improvement: 10.0,
+            ..plain_cfg()
+        };
+        assert_eq!(optimize(&ctx, &mut org, &cfg).stop, StopReason::Plateau);
+        // MaxIters: tiny cap, huge plateau.
+        let mut org = crate::init::random_org(&ctx, 3);
+        let cfg = SearchConfig {
+            max_iters: 10,
+            plateau_iters: 10_000,
+            ..plain_cfg()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        assert_eq!(stats.stop, StopReason::MaxIters);
+        assert_eq!(stats.iterations, 10);
+        // NoProposals: flat organizations admit neither operation.
+        let mut org = flat_org(&ctx);
+        let cfg = SearchConfig {
+            plateau_iters: 10_000,
+            max_iters: 10_000,
+            ..plain_cfg()
+        };
+        let stats = optimize(&ctx, &mut org, &cfg);
+        assert_eq!(stats.stop, StopReason::NoProposals);
+        // The reference walk reports the same taxonomy.
+        let mut org = flat_org(&ctx);
+        assert_eq!(
+            optimize_reference(&ctx, &mut org, &cfg).stop,
+            StopReason::NoProposals
+        );
+    }
+
+    #[test]
+    fn deadline_stops_gracefully_and_resume_is_bit_identical() {
+        let ctx = ctx();
+        let dir = tmp_dir("deadline");
+        let path = dir.join("search.ckpt");
+        let walk = SearchConfig {
+            max_iters: 200,
+            plateau_iters: 80,
+            batch_size: 2,
+            ..plain_cfg()
+        };
+        // Uninterrupted baseline.
+        let mut org_full = crate::init::random_org(&ctx, 77);
+        let full = optimize(&ctx, &mut org_full, &walk);
+        // Interrupted run: a zero deadline expires at the first round
+        // boundary; the run must still write its final checkpoint (even
+        // with periodic writes disabled) and restore the best-so-far.
+        let cfg = SearchConfig {
+            deadline: Some(Duration::ZERO),
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_rounds: 0,
+            }),
+            ..walk.clone()
+        };
+        let mut org_cut = crate::init::random_org(&ctx, 77);
+        let cut = optimize(&ctx, &mut org_cut, &cfg);
+        assert_eq!(cut.stop, StopReason::Deadline);
+        assert_eq!(cut.rounds, 1, "a zero deadline expires after one round");
+        assert!(cut.iterations < full.iterations);
+        // Resume from the checkpoint file against the *initial* org.
+        let ckpt = Checkpoint::load(&path).expect("deadline run wrote a final checkpoint");
+        assert_eq!(ckpt.rounds(), 1);
+        let mut org_res = crate::init::random_org(&ctx, 77);
+        let res = resume(&ctx, &mut org_res, &walk, &ckpt).expect("resume");
+        // Everything but the wall clock matches the uninterrupted run.
+        assert_eq!(res.stop, full.stop);
+        assert_eq!(res.rounds, full.rounds);
+        assert_eq!(res.iterations, full.iterations);
+        assert_eq!(res.accepted, full.accepted);
+        assert_eq!(res.speculative_evals, full.speculative_evals);
+        assert_eq!(
+            res.final_effectiveness.to_bits(),
+            full.final_effectiveness.to_bits()
+        );
+        assert_eq!(res.iter_stats, full.iter_stats);
+        assert_eq!(org_fingerprint(&org_res), org_fingerprint(&org_full));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn periodic_checkpoints_resume_bit_identically_at_any_cut() {
+        // Keep every periodic checkpoint generation (the file plus its
+        // `.prev` rotation gives the last two), resume from both, and
+        // check convergence to the uninterrupted run.
+        let ctx = ctx();
+        let dir = tmp_dir("periodic");
+        let path = dir.join("search.ckpt");
+        let walk = SearchConfig {
+            max_iters: 120,
+            plateau_iters: 60,
+            batch_size: 4,
+            ..plain_cfg()
+        };
+        let mut org_full = crate::init::random_org(&ctx, 42);
+        let full = optimize(&ctx, &mut org_full, &walk);
+        let cfg = SearchConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_rounds: 7,
+            }),
+            ..walk.clone()
+        };
+        let mut org_ck = crate::init::random_org(&ctx, 42);
+        let ck_run = optimize(&ctx, &mut org_ck, &cfg);
+        assert_eq!(ck_run.iter_stats, full.iter_stats);
+        for p in [path.clone(), crate::checkpoint::prev_path(&path)] {
+            let ckpt = Checkpoint::load(&p).expect("periodic checkpoint");
+            assert!(ckpt.rounds() > 0);
+            assert!(ckpt.n_committed_ops() <= full.accepted);
+            let mut org_res = crate::init::random_org(&ctx, 42);
+            let res = resume(&ctx, &mut org_res, &walk, &ckpt).expect("resume");
+            assert_eq!(res.iterations, full.iterations);
+            assert_eq!(res.accepted, full.accepted);
+            assert_eq!(res.iter_stats, full.iter_stats);
+            assert_eq!(
+                res.final_effectiveness.to_bits(),
+                full.final_effectiveness.to_bits()
+            );
+            assert_eq!(org_fingerprint(&org_res), org_fingerprint(&org_full));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_wrong_config_and_wrong_initial_org() {
+        let ctx = ctx();
+        let dir = tmp_dir("refuse");
+        let path = dir.join("search.ckpt");
+        let cfg = SearchConfig {
+            max_iters: 60,
+            deadline: Some(Duration::ZERO),
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_rounds: 0,
+            }),
+            ..plain_cfg()
+        };
+        let mut org = crate::init::random_org(&ctx, 9);
+        let stats = optimize(&ctx, &mut org, &cfg);
+        assert_eq!(stats.stop, StopReason::Deadline);
+        let ckpt = Checkpoint::load(&path).expect("checkpoint");
+        // Different seed → different config fingerprint.
+        let bad_cfg = SearchConfig {
+            seed: 1,
+            ..plain_cfg()
+        };
+        let mut org2 = crate::init::random_org(&ctx, 9);
+        assert!(matches!(
+            resume(&ctx, &mut org2, &bad_cfg, &ckpt),
+            Err(dln_fault::DlnError::InvalidConfig(_))
+        ));
+        // Different initial organization → different init fingerprint.
+        let good_cfg = SearchConfig {
+            max_iters: 60,
+            ..plain_cfg()
+        };
+        let mut org3 = crate::init::random_org(&ctx, 10);
+        assert!(matches!(
+            resume(&ctx, &mut org3, &good_cfg, &ckpt),
+            Err(dln_fault::DlnError::InvalidConfig(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,6 +5,7 @@
 //! O(log n) per draw. Implemented locally because `rand_distr` is outside
 //! the allowed dependency set.
 
+use dln_fault::{DlnError, DlnResult};
 use rand::Rng;
 
 /// A sampler for the Zipf distribution truncated to `1..=n`.
@@ -17,10 +18,31 @@ impl Zipf {
     /// Create a sampler over `1..=n` with exponent `s ≥ 0`.
     ///
     /// # Panics
-    /// Panics if `n == 0` or `s` is negative / non-finite.
+    /// Panics if `n == 0` or `s` is negative / non-finite. Use
+    /// [`try_new`](Self::try_new) for a recoverable error instead.
     pub fn new(n: usize, s: f64) -> Zipf {
-        assert!(n > 0, "Zipf support must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        match Self::try_new(n, s) {
+            Ok(z) => z,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`new`](Self::new): an empty support or a
+    /// negative / non-finite exponent is reported as
+    /// [`DlnError::InvalidConfig`] instead of panicking, so generator
+    /// configurations assembled from user input (CLI flags, study specs)
+    /// can be validated without a crash.
+    pub fn try_new(n: usize, s: f64) -> DlnResult<Zipf> {
+        if n == 0 {
+            return Err(DlnError::InvalidConfig(
+                "Zipf support must be non-empty (n == 0)".to_string(),
+            ));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(DlnError::InvalidConfig(format!(
+                "Zipf exponent must be finite and >= 0, got {s}"
+            )));
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -31,9 +53,11 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        // Guard against floating-point undershoot at the top.
-        *cdf.last_mut().expect("non-empty") = 1.0;
-        Zipf { cdf }
+        if let Some(last) = cdf.last_mut() {
+            // Guard against floating-point undershoot at the top.
+            *last = 1.0;
+        }
+        Ok(Zipf { cdf })
     }
 
     /// Support size `n`.
@@ -131,6 +155,27 @@ mod tests {
     #[should_panic(expected = "support must be non-empty")]
     fn zero_support_panics() {
         Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_without_panicking() {
+        assert!(matches!(
+            Zipf::try_new(0, 1.0),
+            Err(DlnError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Zipf::try_new(10, -0.5),
+            Err(DlnError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Zipf::try_new(10, f64::NAN),
+            Err(DlnError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Zipf::try_new(10, f64::INFINITY),
+            Err(DlnError::InvalidConfig(_))
+        ));
+        assert_eq!(Zipf::try_new(10, 1.0).unwrap().n(), 10);
     }
 
     #[test]

@@ -15,10 +15,10 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
-use datalake_nav::org::search::{optimize, optimize_reference, SearchConfig};
+use datalake_nav::org::search::{optimize, optimize_reference, resume, SearchConfig, StopReason};
 use datalake_nav::org::{
-    clustering_org, ops, random_org, Evaluator, NavConfig, OrgContext, Organization,
-    Representatives,
+    clustering_org, ops, random_org, Checkpoint, CheckpointConfig, Evaluator, NavConfig,
+    OrgContext, Organization, Representatives,
 };
 use datalake_nav::prelude::*;
 use datalake_nav::study::mann_whitney_u;
@@ -226,6 +226,11 @@ fn batch_of_one_is_the_serial_walk_at_any_thread_count() {
     // Batching-PR property (a): optimize with batch_size = 1 reproduces
     // the serial reference walk bit-for-bit — trajectory, stats, and final
     // organization — regardless of the worker count.
+    //
+    // The failpoint registry is process-global; hold the (disarmed) scope
+    // guard so a concurrently running failpoint test in this binary cannot
+    // contaminate these baseline runs.
+    let _fp = dln_fault::scoped("").expect("disarm failpoints");
     let ctx = small_ctx();
     for seed in [1u64, 0xBEE5, 424242] {
         for threads in [1usize, 4] {
@@ -256,6 +261,101 @@ fn batch_of_one_is_the_serial_walk_at_any_thread_count() {
                 "seed {seed}, {threads} threads"
             );
         }
+    }
+}
+
+#[test]
+fn killed_and_resumed_search_is_bit_identical() {
+    // Robustness-PR property: kill the search at a random round boundary
+    // (via the `search.kill` failpoint), resume from the newest intact
+    // checkpoint, repeat until a run finishes — the surviving chain must be
+    // bit-identical to the uninterrupted run: same stats, same trajectory,
+    // same final organization. Holds at any batch size and thread count
+    // because checkpoints are only cut at round boundaries and resume
+    // replays the committed op log.
+    let ctx = small_ctx();
+    for (case, (seed, batch, threads)) in [(1u64, 1usize, 1usize), (7, 2, 2), (42, 4, 2)]
+        .into_iter()
+        .enumerate()
+    {
+        rayon::set_num_threads(threads);
+        let base = SearchConfig {
+            max_iters: 120,
+            plateau_iters: 60,
+            batch_size: batch,
+            seed,
+            deadline: None,
+            checkpoint: None,
+            ..Default::default()
+        };
+        let mut full_org = random_org(&ctx, seed ^ 0x0A11);
+        let full = {
+            let _fp = dln_fault::scoped("").expect("disarm failpoints");
+            optimize(&ctx, &mut full_org, &base)
+        };
+
+        let dir = std::env::temp_dir().join(format!("dln_prop_kill_{case}_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("search.ckpt");
+        let cfg = SearchConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_rounds: 1,
+            }),
+            ..base.clone()
+        };
+        let mut kills = 0usize;
+        let mut attempt = 0u64;
+        let (stats, org) = loop {
+            attempt += 1;
+            // A fresh kill seed each attempt moves the kill point; after a
+            // bounded number of kills, finish fault-free so the chain
+            // always terminates.
+            let spec = if attempt <= 10 {
+                format!("search.kill:0.4:{}", seed ^ (attempt * 0x9E37))
+            } else {
+                String::new()
+            };
+            let _fp = dln_fault::scoped(&spec).expect("arm failpoints");
+            let mut org = random_org(&ctx, seed ^ 0x0A11);
+            let stats = match Checkpoint::load_with_fallback(&path) {
+                Ok(ck) => resume(&ctx, &mut org, &cfg, &ck)
+                    .expect("resume from an intact checkpoint must succeed"),
+                // Killed before the first checkpoint was cut: start over,
+                // as a restarted process would.
+                Err(_) => optimize(&ctx, &mut org, &cfg),
+            };
+            if stats.stop == StopReason::Killed {
+                kills += 1;
+                continue;
+            }
+            break (stats, org);
+        };
+        rayon::set_num_threads(0);
+        assert!(kills >= 1, "case {case}: the failpoint never killed a run");
+        assert_eq!(
+            stats.final_effectiveness.to_bits(),
+            full.final_effectiveness.to_bits(),
+            "case {case} ({kills} kills)"
+        );
+        assert_eq!(stats.iterations, full.iterations, "case {case}");
+        assert_eq!(stats.accepted, full.accepted, "case {case}");
+        assert_eq!(
+            stats.speculative_evals, full.speculative_evals,
+            "case {case}"
+        );
+        assert_eq!(stats.rounds, full.rounds, "case {case}");
+        assert_eq!(stats.stop, full.stop, "case {case}");
+        assert_eq!(stats.iter_stats, full.iter_stats, "case {case}");
+        assert_eq!(
+            org_fingerprint(&org),
+            org_fingerprint(&full_org),
+            "case {case} ({kills} kills)"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
