@@ -1,7 +1,7 @@
 //! The workspace-wide error taxonomy.
 //!
 //! Hand-rolled (no `thiserror`/`anyhow` — the build environment has no
-//! crate registry) and deliberately small: six categories cover every
+//! crate registry) and deliberately small: seven categories cover every
 //! recoverable failure the pipeline produces. Fatal programming errors
 //! (index bugs, violated invariants) stay as panics; `DlnError` is for
 //! conditions a caller can meaningfully react to — quarantine an input,
@@ -54,6 +54,15 @@ pub enum DlnError {
         /// What the integrity check found.
         detail: String,
     },
+    /// A navigation request is not legal from the requester's current
+    /// position (descending into a state that is not a child of the
+    /// current one, referencing a tombstoned state, …). Recoverable: the
+    /// navigator/serving session stays where it was and the caller can
+    /// pick another move.
+    InvalidNavigation {
+        /// What was attempted and why it is illegal.
+        context: String,
+    },
 }
 
 impl DlnError {
@@ -80,6 +89,13 @@ impl DlnError {
             detail: detail.into(),
         }
     }
+
+    /// An invalid-navigation error with context.
+    pub fn invalid_navigation(context: impl Into<String>) -> DlnError {
+        DlnError::InvalidNavigation {
+            context: context.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for DlnError {
@@ -101,6 +117,9 @@ impl std::fmt::Display for DlnError {
             DlnError::NonFinite { context } => write!(f, "non-finite value: {context}"),
             DlnError::Corrupt { context, detail } => {
                 write!(f, "corrupt artifact: {context}: {detail}")
+            }
+            DlnError::InvalidNavigation { context } => {
+                write!(f, "invalid navigation: {context}")
             }
         }
     }
@@ -162,6 +181,10 @@ mod tests {
             (
                 DlnError::corrupt("ckpt", "checksum mismatch"),
                 "corrupt artifact",
+            ),
+            (
+                DlnError::invalid_navigation("state 7 is not a child of state 3"),
+                "invalid navigation",
             ),
         ];
         for (e, needle) in cases {

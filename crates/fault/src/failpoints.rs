@@ -24,12 +24,23 @@
 //!
 //! Failpoint catalog (see DESIGN.md §5c):
 //!
-//! | site                | effect when it fires                                  |
-//! |---------------------|-------------------------------------------------------|
-//! | `ingest.read`       | a CSV file read is treated as an IO error → quarantine |
-//! | `checkpoint.torn`   | a checkpoint write is truncated mid-buffer (torn write)|
-//! | `search.spec_panic` | a speculative draft evaluation panics on its worker    |
-//! | `search.kill`       | the search stops at a round boundary (simulated crash) |
+//! | site                 | effect when it fires                                  |
+//! |----------------------|-------------------------------------------------------|
+//! | `ingest.read`        | a CSV file read is treated as an IO error → quarantine |
+//! | `checkpoint.torn`    | a checkpoint write is truncated mid-buffer (torn write)|
+//! | `search.spec_panic`  | a speculative draft evaluation panics on its worker    |
+//! | `search.kill`        | the search stops at a round boundary (simulated crash) |
+//! | `serve.slow`         | a navigation request is charged a deadline-blowing     |
+//! |                      | virtual delay → the response degrades to cached labels |
+//! | `serve.drop_session` | the serving layer loses a session mid-step (typed      |
+//! |                      | `SessionExpired { injected: true }` to the client)     |
+//! | `serve.swap_race`    | a step yields mid-request to widen the snapshot        |
+//! |                      | hot-swap race window, then re-resolves its epoch       |
+//!
+//! The `serve.*` sites use [`should_fail_keyed`]: the fire decision is a
+//! pure function of `(armed seed, caller key)`, independent of the global
+//! hit counter, so concurrent sessions see the same fault schedule no
+//! matter how the scheduler interleaves them.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, Once, OnceLock};
@@ -143,6 +154,34 @@ pub fn should_fail(site: &str) -> bool {
         return true;
     }
     let draw = splitmix64(s.seed ^ s.hits.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < s.prob
+}
+
+/// Keyed variant of [`should_fail`]: the decision for `(site, key)` is a
+/// pure function of the armed `(probability, seed)` and the caller's `key`
+/// — the global hit counter is neither read nor advanced.
+///
+/// This is the right form for concurrent callers: with [`should_fail`],
+/// which hit of a site fires depends on the order threads reach it, so a
+/// fault schedule observed under one interleaving is not reproducible
+/// under another. A keyed site fires for exactly the same keys in every
+/// run and under every interleaving, which is what lets the serving
+/// layer's chaos tests demand bit-equal per-session counters from serial
+/// and concurrent executions. Callers key by something session-local,
+/// e.g. `session_seed ⊕ step_index`.
+pub fn should_fail_keyed(site: &str, key: u64) -> bool {
+    init_from_env();
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    let st = lock(state());
+    let Some(s) = st.iter().find(|s| s.name == site) else {
+        return false;
+    };
+    if s.prob >= 1.0 {
+        return true;
+    }
+    let draw = splitmix64(s.seed ^ key.wrapping_mul(0xD134_2543_DE82_EF95));
     ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < s.prob
 }
 
@@ -285,6 +324,40 @@ mod tests {
         assert!(scoped("a:x:0").is_err());
         assert!(scoped("a:0.5:notanumber").is_err());
         assert!(scoped("a:0.5:1:extra").is_err());
+    }
+
+    #[test]
+    fn keyed_draws_ignore_hit_order_and_differ_by_key() {
+        let _guard = scoped("k.site:0.5:9").unwrap();
+        // Same key, same answer, regardless of how many unkeyed hits (or
+        // other keys) happened in between.
+        let first: Vec<bool> = (0..64).map(|k| should_fail_keyed("k.site", k)).collect();
+        for _ in 0..10 {
+            should_fail("k.site"); // churn the hit counter
+        }
+        let second: Vec<bool> = (0..64).map(|k| should_fail_keyed("k.site", k)).collect();
+        let reversed: Vec<bool> = (0..64)
+            .rev()
+            .map(|k| should_fail_keyed("k.site", k))
+            .collect();
+        assert_eq!(first, second, "keyed draws are hit-counter independent");
+        let mut rev = reversed;
+        rev.reverse();
+        assert_eq!(first, rev, "keyed draws are call-order independent");
+        let fires = first.iter().filter(|f| **f).count();
+        assert!((10..=54).contains(&fires), "p=0.5 fires ~half: {fires}");
+    }
+
+    #[test]
+    fn keyed_respects_arming_and_extremes() {
+        {
+            let _guard = scoped("").unwrap();
+            assert!(!should_fail_keyed("k.site", 3));
+        }
+        let _guard = scoped("a.site:1.0:0,b.site:0.0:0").unwrap();
+        assert!(should_fail_keyed("a.site", 7));
+        assert!(!should_fail_keyed("b.site", 7));
+        assert!(!should_fail_keyed("unarmed.site", 7));
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl OrgContext {
                 unit_topic: lt.unit_topic.clone(),
             });
         }
-        let tags: Vec<LocalTag> = tags.into_iter().map(|t| t.expect("filled")).collect();
+        let tags: Vec<LocalTag> = tags
+            .into_iter()
+            .map(|t| t.unwrap_or_else(|| unreachable!("every local tag slot is filled above")))
+            .collect();
         let mut attr_units = Vec::with_capacity(attrs.len() * lake.dim());
         for a in &attrs {
             attr_units.extend_from_slice(&a.unit_topic);

@@ -59,7 +59,12 @@ pub fn to_dot(ctx: &OrgContext, org: &Organization, max_label_tags: usize) -> St
 pub fn save_json(ctx: &OrgContext, org: &Organization) -> String {
     // Dense re-indexing of alive states.
     let alive: Vec<StateId> = org.alive_ids().collect();
-    let index_of = |sid: StateId| alive.iter().position(|&x| x == sid).expect("alive");
+    let index_of = |sid: StateId| {
+        alive
+            .iter()
+            .position(|&x| x == sid)
+            .unwrap_or_else(|| unreachable!("children of alive states are alive"))
+    };
     let mut out = String::from("{\n  \"format\": \"dln-organization-v1\",\n  \"states\": [\n");
     for (i, &sid) in alive.iter().enumerate() {
         let s = org.state(sid);
@@ -162,7 +167,9 @@ pub fn load_json(ctx: &OrgContext, json: &str) -> Result<Organization, LoadError
                     tagset.len()
                 )));
             }
-            let t = tagset.iter().next().expect("one tag");
+            let Some(t) = tagset.iter().next() else {
+                unreachable!("arity 1 checked just above")
+            };
             sid_of[i] = Some(org.tag_state(t));
         } else if st.root {
             sid_of[i] = Some(org.root());
@@ -174,7 +181,8 @@ pub fn load_json(ctx: &OrgContext, json: &str) -> Result<Organization, LoadError
         return Err(LoadError::Inconsistent("no root state".into()));
     };
     for (i, st) in parsed.iter().enumerate() {
-        let parent = sid_of[i].expect("assigned");
+        let parent =
+            sid_of[i].unwrap_or_else(|| unreachable!("every state got an id in the first pass"));
         for &c in &st.children {
             let Some(child) = sid_of.get(c).copied().flatten() else {
                 return Err(LoadError::Inconsistent(format!("bad child index {c}")));

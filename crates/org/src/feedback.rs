@@ -267,6 +267,75 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_interleaved_merges_are_order_invariant() {
+        // The serving layer merges per-session logs into one service log in
+        // whatever order sessions happen to close/evict across threads.
+        // Reorganization quality then depends on this: whatever the
+        // interleaving, the merged counts — and everything derived from
+        // them, like empirical reachability — must equal the fixed-order
+        // serial merge.
+        use std::sync::Mutex;
+
+        let (_ctx, org) = setup();
+        let root = org.root();
+        let children = org.state(root).children.clone();
+
+        // 16 distinct per-session logs (different walks and multiplicities).
+        let session_logs: Vec<NavigationLog> = (0..16u64)
+            .map(|i| {
+                let mut l = NavigationLog::new();
+                let c = children[(i as usize) % children.len()];
+                for _ in 0..=(i % 5) {
+                    l.record_walk(&[root, c]);
+                }
+                if i % 3 == 0 {
+                    l.record_walk(&[root]);
+                }
+                l
+            })
+            .collect();
+
+        // Reference: serial merge in index order.
+        let mut reference = NavigationLog::new();
+        for l in &session_logs {
+            reference.merge(l);
+        }
+        let ref_reach = reference.empirical_reachability(&org);
+
+        // Concurrent: four threads race to merge four logs each, so the
+        // arrival order at the shared log is scheduler-chosen.
+        for round in 0..8 {
+            let shared = Mutex::new(NavigationLog::new());
+            std::thread::scope(|scope| {
+                for chunk in session_logs.chunks(4) {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        for l in chunk {
+                            // Tiny stagger to vary interleavings per round.
+                            if round % 2 == 1 {
+                                std::thread::yield_now();
+                            }
+                            shared.lock().unwrap().merge(l);
+                        }
+                    });
+                }
+            });
+            let merged = shared.into_inner().unwrap();
+            assert_eq!(merged.n_sessions(), reference.n_sessions());
+            assert_eq!(merged.visits(root), reference.visits(root));
+            for &c in &children {
+                assert_eq!(merged.visits(c), reference.visits(c));
+                assert_eq!(merged.choices(root, c), reference.choices(root, c));
+            }
+            let reach = merged.empirical_reachability(&org);
+            assert_eq!(
+                reach, ref_reach,
+                "round {round}: reachability must not depend on merge order"
+            );
+        }
+    }
+
+    #[test]
     fn navigator_paths_feed_the_log() {
         // Integration with the navigator: greedy sessions produce walks the
         // log can consume, and popular tags become visibly reachable.

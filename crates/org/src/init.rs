@@ -100,10 +100,16 @@ pub fn clustering_org(ctx: &OrgContext) -> Organization {
     }
     for (i, m) in dend.merges().iter().enumerate() {
         let node = n + i;
+        // Merges are emitted bottom-up, so both children's tag sets exist.
         let mut tags = tags_of[m.a as usize]
             .clone()
-            .expect("child tags computed before parent");
-        tags.union_with(tags_of[m.b as usize].as_ref().expect("child tags"));
+            .unwrap_or_else(|| unreachable!("child tags computed before parent"));
+        match tags_of[m.b as usize].as_ref() {
+            Some(b) => {
+                tags.union_with(b);
+            }
+            None => unreachable!("child tags computed before parent"),
+        }
         let sid = if i + 1 == dend.merges().len() {
             org.root()
         } else {

@@ -43,6 +43,7 @@
 //! * [`builder`] — [`OrganizerBuilder`], the high-level API.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod approx;
 pub mod bitset;
@@ -71,7 +72,7 @@ pub use feedback::NavigationLog;
 pub use graph::{Organization, StateId};
 pub use init::{bisecting_org, clustering_org, flat_org, random_org};
 pub use multidim::{MultiDimConfig, MultiDimOrganization};
-pub use navigate::Navigator;
+pub use navigate::{transition_probs_from, Navigator};
 pub use ops::{OpKind, OpOutcome};
 pub use search::{IterStats, SearchConfig, SearchStats, StopReason};
 pub use success::{success_curve, SuccessCurve};

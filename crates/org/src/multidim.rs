@@ -106,8 +106,10 @@ impl MultiDimOrganization {
                 );
             }
         }
-        let mut dims: Vec<BuiltOrganization> =
-            dims.into_iter().map(|d| d.expect("built")).collect();
+        let mut dims: Vec<BuiltOrganization> = dims
+            .into_iter()
+            .map(|d| d.unwrap_or_else(|| unreachable!("every dimension slot is filled above")))
+            .collect();
         dims.sort_by_key(|d| std::cmp::Reverse(d.ctx.n_tags()));
         MultiDimOrganization { dims }
     }

@@ -8,11 +8,50 @@
 //! this interface, and the `navigation_repl` example exposes it on stdin.
 
 use dln_embed::dot;
+use dln_fault::{DlnError, DlnResult};
 use dln_lake::TableId;
 
 use crate::ctx::OrgContext;
 use crate::eval::NavConfig;
 use crate::graph::{Organization, StateId};
+
+/// Transition probabilities out of `state` for a query topic (unit
+/// vector), per Eq 1 — what a user "having the topic in mind" would
+/// gravitate toward. The free-function form of
+/// [`Navigator::transition_probs`]: it borrows only the organization, so
+/// the serving layer can run it against a shared immutable snapshot
+/// without materializing a cursor.
+pub fn transition_probs_from(
+    org: &Organization,
+    nav: NavConfig,
+    state: StateId,
+    query_unit: &[f32],
+) -> Vec<(StateId, f64)> {
+    let children = &org.state(state).children;
+    if children.is_empty() {
+        return Vec::new();
+    }
+    let scale = nav.gamma as f64 / children.len() as f64;
+    let mut scores: Vec<(StateId, f64)> = children
+        .iter()
+        .map(|&c| (c, scale * dot(&org.state(c).unit_topic, query_unit) as f64))
+        .collect();
+    let max = scores
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (_, s) in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    if sum > 0.0 {
+        for (_, s) in scores.iter_mut() {
+            *s /= sum;
+        }
+    }
+    scores
+}
 
 /// A cursor over an organization, remembering the path from the root.
 pub struct Navigator<'a> {
@@ -35,7 +74,10 @@ impl<'a> Navigator<'a> {
 
     /// The current state.
     pub fn current(&self) -> StateId {
-        *self.path.last().expect("path never empty")
+        // The path always holds at least the root ([`new`] seeds it and
+        // [`backtrack`] / [`reset`] never drain it); fall back to the root
+        // rather than panicking if that invariant ever broke.
+        self.path.last().copied().unwrap_or_else(|| self.org.root())
     }
 
     /// The path from the root to the current state.
@@ -67,35 +109,7 @@ impl<'a> Navigator<'a> {
     /// (unit vector), per Eq 1 — what a user "having the topic in mind"
     /// would gravitate toward.
     pub fn transition_probs(&self, query_unit: &[f32]) -> Vec<(StateId, f64)> {
-        let children = self.children();
-        if children.is_empty() {
-            return Vec::new();
-        }
-        let scale = self.nav.gamma as f64 / children.len() as f64;
-        let mut scores: Vec<(StateId, f64)> = children
-            .iter()
-            .map(|&c| {
-                (
-                    c,
-                    scale * dot(&self.org.state(c).unit_topic, query_unit) as f64,
-                )
-            })
-            .collect();
-        let max = scores
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
-        for (_, s) in scores.iter_mut() {
-            *s = (*s - max).exp();
-            sum += *s;
-        }
-        if sum > 0.0 {
-            for (_, s) in scores.iter_mut() {
-                *s /= sum;
-            }
-        }
-        scores
+        transition_probs_from(self.org, self.nav, self.current(), query_unit)
     }
 
     /// Transition probabilities blended with observed navigation behaviour
@@ -121,14 +135,16 @@ impl<'a> Navigator<'a> {
             .collect()
     }
 
-    /// Descend into `child`. Errors when `child` is not a child of the
-    /// current state.
-    pub fn descend(&mut self, child: StateId) -> Result<(), String> {
+    /// Descend into `child`. Errors with
+    /// [`DlnError::InvalidNavigation`] when `child` is not a child of the
+    /// current state; the cursor does not move.
+    pub fn descend(&mut self, child: StateId) -> DlnResult<()> {
         if !self.children().contains(&child) {
-            return Err(format!(
-                "state {} is not a child of the current state",
-                child.0
-            ));
+            return Err(DlnError::invalid_navigation(format!(
+                "state {} is not a child of state {}",
+                child.0,
+                self.current().0
+            )));
         }
         self.path.push(child);
         Ok(())
@@ -204,13 +220,30 @@ mod tests {
     }
 
     #[test]
-    fn descend_rejects_non_children() {
+    fn descend_rejects_non_children_with_typed_error() {
         let (ctx, org) = setup();
         let mut nav = Navigator::new(&ctx, &org, NavConfig::default());
         let ts = org.tag_state(0);
         if !nav.children().contains(&ts) {
-            assert!(nav.descend(ts).is_err());
+            let before = nav.current();
+            match nav.descend(ts) {
+                Err(DlnError::InvalidNavigation { context }) => {
+                    assert!(context.contains(&format!("state {}", ts.0)), "{context}");
+                }
+                other => panic!("expected InvalidNavigation, got {other:?}"),
+            }
+            assert_eq!(nav.current(), before, "a rejected descend does not move");
         }
+    }
+
+    #[test]
+    fn free_fn_matches_navigator_transitions() {
+        let (ctx, org) = setup();
+        let nav = Navigator::new(&ctx, &org, NavConfig::default());
+        let query = ctx.attr(0).unit_topic.clone();
+        let via_nav = nav.transition_probs(&query);
+        let via_free = transition_probs_from(&org, NavConfig::default(), org.root(), &query);
+        assert_eq!(via_nav, via_free);
     }
 
     #[test]

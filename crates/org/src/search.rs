@@ -422,8 +422,9 @@ fn sync_replicas(
         for rep in replicas.iter_mut() {
             scope.spawn(move || {
                 rayon::run_inline(|| {
-                    let outcome = ops::try_op(&mut rep.org, ctx, target, reach, kind)
-                        .expect("committed op replays on a synced replica");
+                    let Some(outcome) = ops::try_op(&mut rep.org, ctx, target, reach, kind) else {
+                        unreachable!("committed op replays on a synced replica")
+                    };
                     let _ = rep.ev.apply_delta(ctx, &rep.org, &outcome.dirty_parents);
                 })
             });
@@ -928,8 +929,9 @@ fn run_search(
                 }
                 // Winner: replay on the master (bit-identical to the
                 // replica's speculative application).
-                let outcome = ops::try_op(org, ctx, d.target, &reach_now, kind)
-                    .expect("drafted op replays on the master");
+                let Some(outcome) = ops::try_op(org, ctx, d.target, &reach_now, kind) else {
+                    unreachable!("drafted op replays on the master")
+                };
                 let (_undo_ev, delta) = ev.apply_delta(ctx, org, &outcome.dirty_parents);
                 let master_eff = ev.effectiveness();
                 debug_assert_eq!(
@@ -1033,8 +1035,9 @@ fn run_search(
                             ops::undo(org, ctx, o2);
                         }
                     }
-                    let replay = ops::try_op(org, ctx, d.target, &reach_now, kind)
-                        .expect("winner replays after the speculation census");
+                    let Some(replay) = ops::try_op(org, ctx, d.target, &reach_now, kind) else {
+                        unreachable!("winner replays after the speculation census")
+                    };
                     debug_assert_eq!(replay.kind, kind);
                 }
                 sync_replicas(&mut replicas, ctx, kind, d.target, &reach_now);

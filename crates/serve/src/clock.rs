@@ -1,0 +1,99 @@
+//! Injected time sources.
+//!
+//! Everything time-dependent in the serving layer — session TTL eviction,
+//! per-request deadlines, retry-after suggestions — reads time through the
+//! [`Clock`] trait instead of calling `Instant::now` directly. Production
+//! services use [`WallClock`]; tests inject [`ManualClock`], a logical
+//! clock that only moves when the test advances it, so eviction schedules
+//! and deadline decisions are deterministic by construction (the same idea
+//! as `dln-fault`'s seeded failpoint streams: reproducibility comes from
+//! making the nondeterministic input explicit and injectable).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+///
+/// The unit is "milliseconds" for wall clocks and "ticks" for logical
+/// ones; the serving layer only ever compares differences against
+/// configured budgets, so the two are interchangeable.
+pub trait Clock: Send + Sync {
+    /// Milliseconds (or logical ticks) since the clock's origin.
+    fn now(&self) -> u64;
+}
+
+/// Real time, measured from construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A logical clock that only moves when told to. Shared freely across
+/// threads (all operations are atomic).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start` ticks.
+    pub fn new(start: u64) -> ManualClock {
+        ManualClock {
+            ticks: AtomicU64::new(start),
+        }
+    }
+
+    /// Advance the clock by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.ticks.fetch_add(ticks, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_on_advance() {
+        let c = ManualClock::new(5);
+        assert_eq!(c.now(), 5);
+        assert_eq!(c.now(), 5);
+        c.advance(10);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,165 @@
+//! The serving layer's typed error surface.
+//!
+//! Every way a request can be refused has its own variant, and every
+//! variant tells the client what to *do about it*: [`Overloaded`] carries
+//! a retry-after hint, [`Stale`] carries both epochs so the client knows a
+//! re-open will land on fresh structure, [`SessionExpired`] distinguishes
+//! injected chaos drops from real TTL expiry. Navigation-level failures
+//! (descending into a non-child) pass through as the workspace
+//! [`DlnError`] taxonomy.
+//!
+//! [`Overloaded`]: ServeError::Overloaded
+//! [`Stale`]: ServeError::Stale
+//! [`SessionExpired`]: ServeError::SessionExpired
+
+use dln_fault::DlnError;
+
+use crate::registry::SessionId;
+
+/// Convenience alias for serving-layer results.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// Every recoverable way the navigation service can refuse a request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control shed this request: the concurrency limit is
+    /// reached and the wait queue is full. Retry after the suggested
+    /// backoff (see [`RetryPolicy`](crate::retry::RetryPolicy)).
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The bounded session registry is at capacity (after TTL eviction);
+    /// no new session can be opened until one closes or expires.
+    SessionLimit {
+        /// The registry's configured capacity.
+        capacity: usize,
+    },
+    /// No session with this id exists (never opened, already closed, or
+    /// evicted long ago).
+    SessionNotFound {
+        /// The offending id.
+        session: SessionId,
+    },
+    /// The session existed but is gone: TTL-evicted, or torn down by the
+    /// `serve.drop_session` failpoint (`injected = true`). The client
+    /// should open a fresh session.
+    SessionExpired {
+        /// The offending id.
+        session: SessionId,
+        /// True when a fault-injection failpoint dropped the session (so
+        /// chaos tests can separate injected losses from real ones).
+        injected: bool,
+    },
+    /// The session's pinned snapshot epoch is behind the published one and
+    /// the service's swap policy is [`SwapPolicy::Reject`]: the client
+    /// must re-open to navigate the fresh organization.
+    ///
+    /// [`SwapPolicy::Reject`]: crate::service::SwapPolicy::Reject
+    Stale {
+        /// Epoch the session was navigating.
+        session_epoch: u64,
+        /// Epoch currently published.
+        current_epoch: u64,
+    },
+    /// A navigation-level failure (e.g. descending into a state that is
+    /// not a child of the current one); the session is unharmed.
+    Nav(DlnError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
+            ServeError::SessionLimit { capacity } => {
+                write!(f, "session registry full ({capacity} sessions)")
+            }
+            ServeError::SessionNotFound { session } => {
+                write!(f, "no such session: {}", session.0)
+            }
+            ServeError::SessionExpired { session, injected } => write!(
+                f,
+                "session {} expired{}",
+                session.0,
+                if *injected { " (injected fault)" } else { "" }
+            ),
+            ServeError::Stale {
+                session_epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "stale snapshot: session pinned epoch {session_epoch}, current is {current_epoch}"
+            ),
+            ServeError::Nav(e) => write!(f, "navigation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Nav(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DlnError> for ServeError {
+    fn from(e: DlnError) -> ServeError {
+        ServeError::Nav(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::Overloaded { retry_after_ms: 40 }, "retry after"),
+            (ServeError::SessionLimit { capacity: 8 }, "full"),
+            (
+                ServeError::SessionNotFound {
+                    session: SessionId(3),
+                },
+                "no such session",
+            ),
+            (
+                ServeError::SessionExpired {
+                    session: SessionId(3),
+                    injected: true,
+                },
+                "injected",
+            ),
+            (
+                ServeError::Stale {
+                    session_epoch: 1,
+                    current_epoch: 2,
+                },
+                "stale",
+            ),
+            (
+                ServeError::Nav(DlnError::invalid_navigation("x")),
+                "navigation error",
+            ),
+        ];
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn nav_variant_exposes_source() {
+        use std::error::Error as _;
+        assert!(ServeError::Nav(DlnError::invalid_navigation("x"))
+            .source()
+            .is_some());
+        assert!(ServeError::Overloaded { retry_after_ms: 1 }
+            .source()
+            .is_none());
+    }
+}

@@ -1,0 +1,302 @@
+//! Immutable organization snapshots and epoch-based hot-swap.
+//!
+//! A [`OrgSnapshot`] bundles everything a navigation request needs —
+//! context, organization DAG, navigation-model parameters — behind `Arc`s,
+//! plus a shared lazily-filled label cache (state labels are pure string
+//! renderings of immutable structure, so one computation serves every
+//! session). Snapshots are never mutated after publication: a re-optimized
+//! organization is installed by [`SnapshotStore::publish`], which swaps the
+//! *whole* `Arc` under a short write lock and bumps the epoch. Readers
+//! clone the `Arc` under a read lock, so a request observes either the old
+//! snapshot or the new one in its entirety — never a torn mix (the paper's
+//! extended version re-optimizes organizations as the lake evolves; this
+//! is the mechanism that lets serving ride through those republications).
+//!
+//! Sessions that were navigating the previous epoch are reconciled by
+//! [`replay_path`]: states are matched across snapshots by their *tag
+//! sets* (the semantic identity of a state — slot ids are allocation
+//! accidents), walking the old path down the new DAG for as long as edges
+//! with the same tag sets exist. The unreplayable suffix is reported as
+//! `lost_depth` so the client can tell the user "you were moved up N
+//! levels by a reorganization" instead of silently teleporting them.
+
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use dln_org::eval::NavConfig;
+use dln_org::{OrgContext, Organization, StateId};
+
+/// An immutable, shareable view of one published organization.
+pub struct OrgSnapshot {
+    epoch: u64,
+    ctx: Arc<OrgContext>,
+    org: Arc<Organization>,
+    nav: NavConfig,
+    /// Per-slot display labels, computed on first use and shared by every
+    /// session on this snapshot.
+    labels: Vec<OnceLock<String>>,
+}
+
+impl OrgSnapshot {
+    /// Wrap a context + organization as the snapshot for `epoch`.
+    pub fn new(epoch: u64, ctx: Arc<OrgContext>, org: Arc<Organization>, nav: NavConfig) -> Self {
+        let mut labels = Vec::with_capacity(org.n_slots());
+        labels.resize_with(org.n_slots(), OnceLock::new);
+        OrgSnapshot {
+            epoch,
+            ctx,
+            org,
+            nav,
+            labels,
+        }
+    }
+
+    /// The epoch this snapshot was published at (0 = the initial one).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The organization's context universe.
+    #[inline]
+    pub fn ctx(&self) -> &OrgContext {
+        &self.ctx
+    }
+
+    /// The organization DAG.
+    #[inline]
+    pub fn org(&self) -> &Organization {
+        &self.org
+    }
+
+    /// Navigation-model parameters.
+    #[inline]
+    pub fn nav(&self) -> NavConfig {
+        self.nav
+    }
+
+    /// Display label of a state (§4.4 labelling scheme), cached across all
+    /// sessions of this snapshot.
+    pub fn label(&self, sid: StateId) -> &str {
+        self.labels[sid.index()].get_or_init(|| self.org.label(&self.ctx, sid, 2))
+    }
+
+    /// Is `path` a root-anchored chain of alive edges on this snapshot?
+    pub fn path_is_valid(&self, path: &[StateId]) -> bool {
+        let Some(&first) = path.first() else {
+            return false;
+        };
+        if first != self.org.root() {
+            return false;
+        }
+        path.iter()
+            .all(|s| s.index() < self.org.n_slots() && self.org.state(*s).alive)
+            && path
+                .windows(2)
+                .all(|w| self.org.state(w[0]).children.contains(&w[1]))
+    }
+}
+
+/// Replay `path` (valid on `old`) onto `new`, matching states by tag set.
+///
+/// Returns the deepest replayable prefix (always at least the new root)
+/// and the number of trailing old-path states that could not be matched.
+pub fn replay_path(
+    old: &OrgSnapshot,
+    new: &OrgSnapshot,
+    path: &[StateId],
+) -> (Vec<StateId>, usize) {
+    let mut replayed = vec![new.org.root()];
+    // A different tag universe (republication over a different lake or tag
+    // group) makes tag-set identity meaningless: keep only the root.
+    if old.ctx.n_tags() != new.ctx.n_tags() {
+        return (replayed, path.len().saturating_sub(1));
+    }
+    for old_sid in path.iter().skip(1) {
+        let want = &old.org.state(*old_sid).tags;
+        let here = *replayed.last().unwrap_or(&new.org.root());
+        let next = new
+            .org
+            .state(here)
+            .children
+            .iter()
+            .copied()
+            .find(|c| new.org.state(*c).alive && &new.org.state(*c).tags == want);
+        match next {
+            Some(c) => replayed.push(c),
+            None => break,
+        }
+    }
+    let lost = path.len() - replayed.len();
+    (replayed, lost)
+}
+
+/// The epoch-versioned publication point: one current snapshot, swapped
+/// atomically.
+pub struct SnapshotStore {
+    current: RwLock<Arc<OrgSnapshot>>,
+    /// Serializes publishers so concurrent `publish` calls get distinct,
+    /// monotonically increasing epochs.
+    publish_lock: Mutex<()>,
+}
+
+fn plock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn rlock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn wlock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+impl SnapshotStore {
+    /// A store whose epoch 0 holds the given organization.
+    pub fn new(ctx: OrgContext, org: Organization, nav: NavConfig) -> SnapshotStore {
+        let snap = OrgSnapshot::new(0, Arc::new(ctx), Arc::new(org), nav);
+        SnapshotStore {
+            current: RwLock::new(Arc::new(snap)),
+            publish_lock: Mutex::new(()),
+        }
+    }
+
+    /// The currently published snapshot. Cheap: one read lock + one `Arc`
+    /// clone; the caller keeps the snapshot alive for as long as it needs
+    /// it, independent of later publications.
+    pub fn current(&self) -> Arc<OrgSnapshot> {
+        Arc::clone(&rlock(&self.current))
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        rlock(&self.current).epoch()
+    }
+
+    /// Atomically publish a new organization; returns its epoch. In-flight
+    /// requests holding the previous `Arc` finish on it untouched.
+    pub fn publish(&self, ctx: OrgContext, org: Organization, nav: NavConfig) -> u64 {
+        let _pub = plock(&self.publish_lock);
+        let next_epoch = rlock(&self.current).epoch() + 1;
+        let snap = Arc::new(OrgSnapshot::new(
+            next_epoch,
+            Arc::new(ctx),
+            Arc::new(org),
+            nav,
+        ));
+        *wlock(&self.current) = snap;
+        next_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dln_org::{clustering_org, flat_org};
+    use dln_synth::TagCloudConfig;
+
+    fn snap(epoch: u64) -> (OrgSnapshot, OrgSnapshot) {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let a = clustering_org(&ctx);
+        let b = flat_org(&ctx);
+        (
+            OrgSnapshot::new(
+                epoch,
+                Arc::new(ctx.clone()),
+                Arc::new(a),
+                NavConfig::default(),
+            ),
+            OrgSnapshot::new(epoch + 1, Arc::new(ctx), Arc::new(b), NavConfig::default()),
+        )
+    }
+
+    #[test]
+    fn labels_are_cached_and_stable() {
+        let (s, _) = snap(0);
+        let root = s.org().root();
+        let l1 = s.label(root).to_string();
+        let l2 = s.label(root).to_string();
+        assert_eq!(l1, l2);
+        assert!(!l1.is_empty());
+    }
+
+    #[test]
+    fn path_validity() {
+        let (s, _) = snap(0);
+        let root = s.org().root();
+        let child = s.org().state(root).children[0];
+        assert!(s.path_is_valid(&[root, child]));
+        assert!(!s.path_is_valid(&[child]), "must start at the root");
+        assert!(!s.path_is_valid(&[]), "empty path is not a position");
+        assert!(!s.path_is_valid(&[root, root]), "self loops are not edges");
+    }
+
+    #[test]
+    fn replay_identical_snapshot_is_lossless() {
+        let (s, _) = snap(0);
+        let root = s.org().root();
+        let mut path = vec![root];
+        // Walk down two levels.
+        for _ in 0..2 {
+            let here = *path.last().unwrap();
+            let Some(&c) = s.org().state(here).children.first() else {
+                break;
+            };
+            path.push(c);
+        }
+        let (replayed, lost) = replay_path(&s, &s, &path);
+        assert_eq!(replayed, path);
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn replay_onto_different_structure_truncates() {
+        let (clus, flat) = snap(0);
+        // A depth-2+ path in the clustering org: interior states with
+        // multi-tag sets do not exist in the flat org, so everything below
+        // the root is lost unless the first step is a tag state.
+        let root = clus.org().root();
+        let mut path = vec![root];
+        let mut here = root;
+        for _ in 0..8 {
+            let Some(&c) = clus
+                .org()
+                .state(here)
+                .children
+                .iter()
+                .find(|c| clus.org().state(**c).tag.is_none())
+            else {
+                break;
+            };
+            path.push(c);
+            here = c;
+        }
+        assert!(path.len() >= 2, "clustering org has interior states");
+        let (replayed, lost) = replay_path(&clus, &flat, &path);
+        assert_eq!(replayed.len() + lost, path.len());
+        assert!(flat.path_is_valid(&replayed));
+        assert!(lost >= 1, "flat org lacks the interior states");
+        // Tag-state steps DO survive: root → tag state replays fully.
+        let ts = clus.org().tag_states()[0];
+        if clus.org().state(root).children.contains(&ts) {
+            let (r2, l2) = replay_path(&clus, &flat, &[root, ts]);
+            assert_eq!(l2, 0);
+            assert!(flat.path_is_valid(&r2));
+        }
+    }
+
+    #[test]
+    fn store_publish_bumps_epoch_and_swaps_whole_snapshot() {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let store = SnapshotStore::new(ctx.clone(), clustering_org(&ctx), NavConfig::default());
+        assert_eq!(store.epoch(), 0);
+        let held = store.current();
+        let e1 = store.publish(ctx.clone(), flat_org(&ctx), NavConfig::default());
+        assert_eq!(e1, 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(held.epoch(), 0, "held snapshot is untouched by publish");
+        assert_eq!(store.current().epoch(), 1);
+    }
+}

@@ -74,8 +74,10 @@ impl Scenario {
     }
 }
 
-/// Best attribute cosine of a table against a query vector.
-pub(crate) fn table_sim(lake: &DataLake, table: TableId, unit: &[f32]) -> f32 {
+/// Best attribute cosine of a table against a query vector — the relevance
+/// judgement both agent kinds (and the serving-layer driver) apply when
+/// "reading" a table.
+pub fn table_sim(lake: &DataLake, table: TableId, unit: &[f32]) -> f32 {
     lake.table(table)
         .attrs
         .iter()
@@ -132,7 +134,7 @@ impl Default for AgentConfig {
 }
 
 /// A participant's private reading of the scenario topic.
-fn personal_topic(cfg: &AgentConfig, scenario: &Scenario, rng: &mut StdRng) -> Vec<f32> {
+pub(crate) fn personal_topic(cfg: &AgentConfig, scenario: &Scenario, rng: &mut StdRng) -> Vec<f32> {
     let dim = scenario.unit_topic.len();
     let comp = cfg.interpretation_noise / (dim.max(1) as f32).sqrt();
     let mut v: Vec<f32> = scenario
@@ -155,7 +157,7 @@ fn personal_topic(cfg: &AgentConfig, scenario: &Scenario, rng: &mut StdRng) -> V
 /// A participant's personal relevance bar: the scenario's (calibrated)
 /// threshold plus individual noise. `cfg.judge_threshold` is used only
 /// when the scenario carries no threshold (< 0).
-fn personal_threshold(cfg: &AgentConfig, scenario: &Scenario, rng: &mut StdRng) -> f32 {
+pub(crate) fn personal_threshold(cfg: &AgentConfig, scenario: &Scenario, rng: &mut StdRng) -> f32 {
     // Small Gaussian perturbation via Box–Muller.
     let u1: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
     let u2: f32 = rng.random();
@@ -268,7 +270,7 @@ impl NavigationAgent {
     }
 }
 
-fn sample_child(
+pub(crate) fn sample_child(
     probs: &[(dln_org::StateId, f64)],
     temperature: f64,
     rng: &mut StdRng,

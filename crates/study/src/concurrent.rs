@@ -1,0 +1,366 @@
+//! Study participants driven *through the serving layer*, concurrently.
+//!
+//! [`NavigationAgent`](crate::NavigationAgent) owns a borrowed `Navigator`
+//! — fine for the single-user study, useless for asking what happens when
+//! many participants hit one service at once while the organization is
+//! republished under them. [`ServedAgent`] is the same behavioural model
+//! (private scenario reading, temperature-sampled descents, tag-state
+//! table examination, action budget) re-expressed against
+//! [`NavService::step`], which means it must also *cope*: it retries shed
+//! requests with [`RetryPolicy`] backoff, re-opens sessions lost to TTL or
+//! injected drops, refreshes its view after migration invalidates a chosen
+//! child, and accepts degraded (label-only) responses by falling back to
+//! uniform child choice.
+//!
+//! Everything an agent does is a deterministic function of its seed and
+//! the responses it receives, so when the service itself is deterministic
+//! (no deadline pressure from a wall clock, capacity ≥ agents, no mid-run
+//! publishes) a fleet of agents produces identical [`ServedOutcome`]s
+//! whether run on one thread or many — the property the serve chaos suite
+//! pins down.
+
+use std::collections::BTreeSet;
+
+use dln_lake::{DataLake, TableId};
+use dln_serve::{
+    NavService, RetryPolicy, ServeError, SessionId, StepAction, StepRequest, StepResponse,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::agents::{personal_threshold, personal_topic, sample_child, table_sim};
+use crate::{AgentConfig, Scenario};
+
+/// What one served participant experienced and achieved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServedOutcome {
+    /// Tables the participant judged relevant and collected.
+    pub found: BTreeSet<TableId>,
+    /// Successful navigation steps (admitted, non-error responses).
+    pub steps: u64,
+    /// Responses that arrived deadline-degraded.
+    pub degraded: u64,
+    /// Requests shed even after the retry policy's attempts.
+    pub overload_exhausted: u64,
+    /// Sessions lost mid-run (TTL eviction or injected drop).
+    pub lost_sessions: u64,
+    /// Of those, losses injected by the `serve.drop_session` failpoint.
+    pub injected_losses: u64,
+    /// Fresh sessions opened after a loss (or stale rejection).
+    pub reopens: u64,
+    /// Descents refused because a hot-swap invalidated the chosen child
+    /// between steps.
+    pub nav_rejects: u64,
+}
+
+/// A study participant speaking the serving protocol.
+pub struct ServedAgent;
+
+enum Next {
+    /// Refresh the view (first request, or after reopen/migration).
+    Look,
+    /// Descend into a child chosen from the previous view.
+    Down(dln_org::StateId),
+    /// Backtrack out of an exhausted subtree / examined tag state.
+    Up,
+}
+
+impl ServedAgent {
+    /// Run one participant against `svc` until the action budget is spent.
+    ///
+    /// `sleep` services retry backoff (tests inject a no-op or a capped
+    /// sleeper so chaos runs stay fast).
+    pub fn run(
+        svc: &NavService,
+        lake: &DataLake,
+        scenario: &Scenario,
+        cfg: &AgentConfig,
+        retry: &RetryPolicy,
+        mut sleep: impl FnMut(u64),
+    ) -> ServedOutcome {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let bar = personal_threshold(cfg, scenario, &mut rng);
+        let walk_topic = personal_topic(cfg, scenario, &mut rng);
+        let mut out = ServedOutcome::default();
+
+        // Fault keys are derived from the agent seed, not from the racy
+        // order sessions get opened in; each reopen shifts the key so the
+        // fresh session does not replay the dead one's fault schedule.
+        let session_key = |reopens: u64| cfg.seed ^ reopens.wrapping_mul(0x9E37_79B9_97F4_A7C1);
+        let Ok(mut session) = svc.open_session_keyed(session_key(0)) else {
+            return out; // registry full: this participant never got in
+        };
+
+        // Tag states already read through, identified by (epoch, state) —
+        // state ids are only meaningful within one snapshot epoch.
+        let mut visited: BTreeSet<(u64, dln_org::StateId)> = BTreeSet::new();
+        let mut examined: BTreeSet<TableId> = BTreeSet::new();
+        let mut actions = 0usize;
+        let mut next = Next::Look;
+
+        while actions < cfg.budget {
+            let action = match next {
+                Next::Look => StepAction::Stay,
+                Next::Down(c) => StepAction::Descend(c),
+                Next::Up => StepAction::Backtrack,
+            };
+            let req = StepRequest {
+                action,
+                query: Some(walk_topic.clone()),
+                deadline_ms: None,
+                list_tables: true,
+            };
+            let resp = retry.run(&mut sleep, || svc.step(session, &req));
+            // Every iteration spends at least one budget unit, error or
+            // not, so a hostile fault schedule cannot trap the agent.
+            actions += 1;
+            let resp = match resp {
+                Ok(r) => r,
+                Err(ServeError::Overloaded { .. }) => {
+                    out.overload_exhausted += 1;
+                    continue; // keep the same intent, try again next round
+                }
+                Err(ServeError::SessionExpired { injected, .. }) => {
+                    out.lost_sessions += 1;
+                    if injected {
+                        out.injected_losses += 1;
+                    }
+                    match self::reopen(svc, session_key(out.reopens + 1)) {
+                        Some(s) => {
+                            out.reopens += 1;
+                            session = s;
+                            next = Next::Look;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                Err(ServeError::SessionNotFound { .. } | ServeError::Stale { .. }) => {
+                    match self::reopen(svc, session_key(out.reopens + 1)) {
+                        Some(s) => {
+                            out.reopens += 1;
+                            session = s;
+                            next = Next::Look;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                Err(ServeError::Nav(_)) => {
+                    // The chosen child stopped existing (migration landed
+                    // between steps). Re-look and re-choose.
+                    out.nav_rejects += 1;
+                    next = Next::Look;
+                    continue;
+                }
+                Err(ServeError::SessionLimit { .. }) => break,
+            };
+
+            out.steps += 1;
+            if resp.degraded {
+                out.degraded += 1;
+            }
+            next = Self::digest(
+                &resp,
+                lake,
+                scenario,
+                bar,
+                cfg,
+                &mut rng,
+                &mut visited,
+                &mut examined,
+                &mut actions,
+                &mut out.found,
+            );
+        }
+        // Orderly exit merges the session's walk log into the service log.
+        let _ = svc.close_session(session);
+        out
+    }
+
+    /// Turn a response into the next intent, examining tables at tag
+    /// states exactly like the borrowed-navigator agent does.
+    #[allow(clippy::too_many_arguments)]
+    fn digest(
+        resp: &StepResponse,
+        lake: &DataLake,
+        scenario: &Scenario,
+        bar: f32,
+        cfg: &AgentConfig,
+        rng: &mut StdRng,
+        visited: &mut BTreeSet<(u64, dln_org::StateId)>,
+        examined: &mut BTreeSet<TableId>,
+        actions: &mut usize,
+        found: &mut BTreeSet<TableId>,
+    ) -> Next {
+        if resp.at_tag_state.is_some() {
+            visited.insert((resp.epoch, resp.state));
+            // Degraded responses shed the table listing; the participant
+            // backs out and keeps browsing rather than erroring out.
+            for (table, _) in &resp.tables {
+                if *actions >= cfg.budget {
+                    break;
+                }
+                if !examined.insert(*table) {
+                    continue;
+                }
+                *actions += 1;
+                if table_sim(lake, *table, &scenario.unit_topic) >= bar {
+                    found.insert(*table);
+                }
+            }
+            return Next::Up;
+        }
+        let candidates: Vec<&dln_serve::ChildView> = resp
+            .children
+            .iter()
+            .filter(|c| !visited.contains(&(resp.epoch, c.state)))
+            .collect();
+        if candidates.is_empty() {
+            return Next::Up; // exhausted subtree (no-op at the root)
+        }
+        let ranked: Vec<(dln_org::StateId, f64)> = candidates
+            .iter()
+            .filter_map(|c| c.prob.map(|p| (c.state, p)))
+            .collect();
+        if ranked.is_empty() {
+            // Degraded view: labels only. Pick uniformly rather than stall.
+            let i = rng.random_range(0..candidates.len());
+            return Next::Down(candidates[i].state);
+        }
+        Next::Down(sample_child(&ranked, cfg.temperature, rng))
+    }
+}
+
+fn reopen(svc: &NavService, key: u64) -> Option<SessionId> {
+    svc.open_session_keyed(key).ok()
+}
+
+/// Run `agents` against `svc`, one OS thread per participant, and return
+/// their outcomes in participant order (thread scheduling cannot reorder
+/// or lose results).
+pub fn run_concurrent(
+    svc: &NavService,
+    lake: &DataLake,
+    scenario: &Scenario,
+    agents: &[AgentConfig],
+    retry: &RetryPolicy,
+) -> Vec<ServedOutcome> {
+    let mut out: Vec<Option<ServedOutcome>> = Vec::new();
+    out.resize_with(agents.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(agents.len());
+        for cfg in agents {
+            let retry = RetryPolicy {
+                jitter_seed: retry.jitter_seed ^ cfg.seed,
+                ..*retry
+            };
+            handles.push(scope.spawn(move || {
+                // Bounded real sleep keeps backoff honest without letting a
+                // chaotic schedule slow the suite down.
+                let sleeper =
+                    |ms: u64| std::thread::sleep(std::time::Duration::from_millis(ms.min(2)));
+                ServedAgent::run(svc, lake, scenario, cfg, &retry, sleeper)
+            }));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().unwrap_or_default());
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// The same fleet, one participant after another on the calling thread —
+/// the reference ordering the chaos suite compares concurrent runs
+/// against.
+pub fn run_serial(
+    svc: &NavService,
+    lake: &DataLake,
+    scenario: &Scenario,
+    agents: &[AgentConfig],
+    retry: &RetryPolicy,
+) -> Vec<ServedOutcome> {
+    agents
+        .iter()
+        .map(|cfg| {
+            let retry = RetryPolicy {
+                jitter_seed: retry.jitter_seed ^ cfg.seed,
+                ..*retry
+            };
+            ServedAgent::run(svc, lake, scenario, cfg, &retry, |_| {})
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dln_org::eval::NavConfig;
+    use dln_org::{clustering_org, OrgContext};
+    use dln_serve::ServeConfig;
+    use dln_synth::SocrataConfig;
+
+    fn setup() -> (DataLake, Scenario) {
+        let s = SocrataConfig::small().generate();
+        let tags: Vec<dln_lake::TagId> = s.lake.tag_ids().take(3).collect();
+        let sc = Scenario::from_tags(&s.lake, "served", &tags, 0.6);
+        (s.lake, sc)
+    }
+
+    fn fleet(n: u64, budget: usize) -> Vec<AgentConfig> {
+        (0..n)
+            .map(|i| AgentConfig {
+                budget,
+                seed: 100 + 17 * i,
+                ..Default::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn served_agent_matches_serial_rerun_and_finds_tables() {
+        let (lake, sc) = setup();
+        let ctx = OrgContext::full(&lake);
+        let org = clustering_org(&ctx);
+        let svc = NavService::new(ctx, org, NavConfig::default(), ServeConfig::default());
+        let agents = fleet(4, 120);
+        let retry = RetryPolicy::default();
+        let a = run_serial(&svc, &lake, &sc, &agents, &retry);
+        let b = run_serial(&svc, &lake, &sc, &agents, &retry);
+        assert_eq!(a, b, "served walks are deterministic in the seed");
+        assert!(
+            a.iter().any(|o| !o.found.is_empty()),
+            "some participant collects something"
+        );
+        assert!(a.iter().all(|o| o.steps > 0));
+        assert_eq!(
+            svc.stats()
+                .closed
+                .load(std::sync::atomic::Ordering::Relaxed),
+            8,
+            "every run closes its session"
+        );
+    }
+
+    #[test]
+    fn concurrent_fleet_agrees_with_serial_on_deterministic_outcomes() {
+        let (lake, sc) = setup();
+        let ctx = OrgContext::full(&lake);
+        let org = clustering_org(&ctx);
+        // A gate wide enough that no request can be shed: `overloaded`
+        // depends on real arrival timing and would spoil exact equality.
+        let wide = ServeConfig {
+            max_concurrency: 8,
+            queue_depth: 16,
+            ..ServeConfig::default()
+        };
+        let svc = NavService::new(ctx.clone(), org.clone(), NavConfig::default(), wide);
+        let agents = fleet(6, 80);
+        let retry = RetryPolicy::default();
+        let serial = run_serial(&svc, &lake, &sc, &agents, &retry);
+        // Fresh service so session ids and logs start clean.
+        let svc2 = NavService::new(ctx, org, NavConfig::default(), wide);
+        let conc = run_concurrent(&svc2, &lake, &sc, &agents, &retry);
+        assert_eq!(serial, conc, "interleaving must not change any outcome");
+    }
+}

@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod concurrent;
 pub mod metrics;
 pub mod stats;
 pub mod study;
 pub mod unified;
 
-pub use agents::{AgentConfig, NavigationAgent, Scenario, SearchAgent};
+pub use agents::{table_sim, AgentConfig, NavigationAgent, Scenario, SearchAgent};
+pub use concurrent::{run_concurrent, run_serial, ServedAgent, ServedOutcome};
 pub use metrics::{disjointness, mean_pairwise_disjointness, overlap_fraction};
 pub use stats::{mann_whitney_u, median, MannWhitney};
 pub use study::{

@@ -1,7 +1,9 @@
 //! An interactive navigation REPL over a generated lake — a terminal
-//! version of the paper's user-study prototype (§4.4): descend into child
-//! states, backtrack, list the tables on the current shelf, or type free
-//! text to bias the child ordering toward a topic.
+//! version of the paper's user-study prototype (§4.4), served through the
+//! fault-tolerant navigation service (`dln-serve`) rather than a bare
+//! [`Navigator`]: every command is a [`StepRequest`], and the degraded /
+//! overloaded / migrated outcomes a production client would see are
+//! surfaced in the prompt.
 //!
 //! Run with:
 //! ```sh
@@ -12,57 +14,111 @@
 //! * `1`, `2`, … — descend into the numbered child
 //! * `b`         — backtrack one level
 //! * `t`         — list tables under the current state
+//! * `r`         — republish a reorganized DAG (hot-swap: the session
+//!   migrates by path replay and reports the epoch change)
 //! * `q`         — quit
 //! * anything else — treat as a topic query: children are re-ranked by the
 //!   Eq 1 transition probability for that text
 //!
+//! The service honors `DLN_SERVE_SESSIONS`, `DLN_SERVE_DEADLINE_MS` and
+//! `DLN_SERVE_CONCURRENCY`. Try `DLN_SERVE_DEADLINE_MS=1` with the
+//! `serve.slow` failpoint armed (`DLN_FAILPOINTS=serve.slow:0.5:7`) to see
+//! degraded label-only views, exactly as a deadline-hit user would.
+//!
 //! Reads EOF gracefully, so it can be driven by a pipe:
-//! `printf '1\nt\nq\n' | cargo run --example navigation_repl`
+//! `printf '1\nt\nr\nq\n' | cargo run --example navigation_repl`
 
 use std::io::BufRead;
 
 use datalake_nav::embed::{tokenize, EmbeddingModel, TopicAccumulator};
 use datalake_nav::prelude::*;
+use datalake_nav::serve::SwapOutcome;
+
+/// Step once through the service, retrying shed requests with the default
+/// backoff policy (a real client's loop, in miniature).
+fn step(svc: &NavService, sid: SessionId, req: &StepRequest) -> Result<StepResponse, ServeError> {
+    let policy = RetryPolicy::default();
+    policy.run(
+        |ms| std::thread::sleep(std::time::Duration::from_millis(ms)),
+        || svc.step(sid, req),
+    )
+}
+
+fn render(view: &StepResponse, lake: &datalake_nav::lake::DataLake, svc: &NavService) {
+    match view.swap {
+        SwapOutcome::Migrated {
+            from_epoch,
+            to_epoch,
+            lost_depth,
+        } => {
+            println!(
+                "(hot-swap: migrated epoch {from_epoch} -> {to_epoch}, \
+                 {lost_depth} path level(s) lost)"
+            );
+        }
+        SwapOutcome::Pinned { epoch } => {
+            println!("(pinned to epoch {epoch}; a newer organization exists)");
+        }
+        SwapOutcome::Current => {}
+    }
+    let degraded = if view.degraded {
+        "  [degraded: deadline hit, labels only]"
+    } else {
+        ""
+    };
+    println!(
+        "\n== {} (depth {}, epoch {}){degraded} ==",
+        view.label, view.depth, view.epoch
+    );
+    if view.children.is_empty() {
+        println!("(leaf state — type `t` to list its tables, `b` to go back)");
+    }
+    for (i, c) in view.children.iter().enumerate().take(12) {
+        match c.prob {
+            Some(p) => println!("  [{}] {} (p = {p:.2})", i + 1, c.label),
+            None => println!("  [{}] {}", i + 1, c.label),
+        }
+    }
+    if view.children.len() > 12 {
+        println!("  ... and {} more", view.children.len() - 12);
+    }
+    for (tid, n) in view.tables.iter().take(15) {
+        println!("  {} ({n} matching attrs)", lake.table(*tid).name);
+    }
+    let stats = svc.stats();
+    use std::sync::atomic::Ordering::Relaxed;
+    let (deg, mig, shed) = (
+        stats.degraded.load(Relaxed),
+        stats.migrated.load(Relaxed),
+        stats.overloaded.load(Relaxed),
+    );
+    if deg + mig + shed > 0 {
+        println!("(service: {deg} degraded, {mig} migrated, {shed} shed so far)");
+    }
+}
 
 fn main() {
     let socrata = SocrataConfig::small().generate();
     let lake = &socrata.lake;
     println!("{}\n", lake.stats());
     let built = OrganizerBuilder::new(lake).max_iters(300).build_optimized();
-    let mut nav = built.navigator();
+    let svc = NavService::new(
+        built.ctx.clone(),
+        built.organization,
+        built.nav,
+        ServeConfig::from_env(),
+    );
+    let sid = svc.open_session().expect("fresh service has capacity");
     // Current topic bias (unit vector), if the user typed a query.
     let mut topic: Option<Vec<f32>> = None;
+    // Alternate hot-swap publishes between the two baseline organizations.
+    let mut publishes = 0u32;
 
+    let mut view = step(&svc, sid, &StepRequest::action(StepAction::Stay)).expect("first view");
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     loop {
-        // Show the current state and its children (topic-ranked if set).
-        println!(
-            "\n== {} (depth {}, {} attrs) ==",
-            nav.label(nav.current()),
-            nav.depth(),
-            nav.n_attrs_here()
-        );
-        let children: Vec<_> = if let Some(t) = &topic {
-            let mut probs = nav.transition_probs(t);
-            probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            probs
-        } else {
-            nav.children().iter().map(|&c| (c, 0.0)).collect()
-        };
-        if children.is_empty() {
-            println!("(leaf state — type `t` to list its tables, `b` to go back)");
-        }
-        for (i, (c, p)) in children.iter().enumerate().take(12) {
-            if topic.is_some() {
-                println!("  [{}] {} (p = {:.2})", i + 1, nav.label(*c), p);
-            } else {
-                println!("  [{}] {}", i + 1, nav.label(*c));
-            }
-        }
-        if children.len() > 12 {
-            println!("  ... and {} more", children.len() - 12);
-        }
+        render(&view, lake, &svc);
         print!("> ");
         use std::io::Write;
         std::io::stdout().flush().ok();
@@ -71,24 +127,35 @@ fn main() {
             break;
         };
         let cmd = line.trim();
-        match cmd {
+        let action = match cmd {
             "q" | "quit" | "exit" => break,
             "b" | "back" => {
-                if !nav.backtrack() {
+                if view.depth == 0 {
                     println!("(already at the root)");
                 }
+                Some(StepAction::Backtrack)
             }
-            "t" | "tables" => {
-                for (tid, n) in nav.tables_here().into_iter().take(15) {
-                    println!("  {} ({} matching attrs)", lake.table(tid).name, n);
-                }
+            "t" | "tables" => None, // re-render current state with tables
+            "r" | "republish" => {
+                let org = if publishes.is_multiple_of(2) {
+                    flat_org(&built.ctx)
+                } else {
+                    clustering_org(&built.ctx)
+                };
+                publishes += 1;
+                let epoch = svc.publish(built.ctx.clone(), org, built.nav);
+                println!("(published epoch {epoch}; next step migrates this session)");
+                Some(StepAction::Stay)
             }
-            "" => {}
+            "" => Some(StepAction::Stay),
             n if n.parse::<usize>().is_ok() => {
                 let idx = n.parse::<usize>().expect("checked") - 1;
-                match children.get(idx) {
-                    Some((c, _)) => nav.descend(*c).expect("listed child"),
-                    None => println!("(no child #{})", idx + 1),
+                match view.children.get(idx) {
+                    Some(c) => Some(StepAction::Descend(c.state)),
+                    None => {
+                        println!("(no child #{})", idx + 1);
+                        Some(StepAction::Stay)
+                    }
                 }
             }
             query => {
@@ -104,7 +171,25 @@ fn main() {
                     println!("(re-ranking children for topic {query:?})");
                     topic = Some(acc.unit_mean());
                 }
+                Some(StepAction::Stay)
+            }
+        };
+        let req = StepRequest {
+            action: action.unwrap_or(StepAction::Stay),
+            query: topic.clone(),
+            deadline_ms: None,
+            list_tables: action.is_none(),
+        };
+        match step(&svc, sid, &req) {
+            Ok(v) => view = v,
+            Err(ServeError::Overloaded { retry_after_ms }) => {
+                // RetryPolicy already backed off; the service is saturated.
+                println!("(service overloaded even after retries; retry in {retry_after_ms} ms)");
+            }
+            Err(e) => {
+                println!("(request failed: {e})");
             }
         }
     }
+    svc.close_session(sid).ok();
 }

@@ -22,6 +22,9 @@
 //!   approximation machinery, and multi-dimensional organizations.
 //! * [`search`] — a BM25 keyword-search engine with embedding-based query
 //!   expansion (the user-study comparator).
+//! * [`serve`] — concurrent, fault-tolerant navigation serving: immutable
+//!   snapshot hot-swap, bounded sessions, deadlines with graceful
+//!   degradation, admission control and load shedding.
 //! * [`study`] — the simulated user study and its statistics.
 //!
 //! ## Quickstart
@@ -51,6 +54,7 @@ pub use dln_embed as embed;
 pub use dln_lake as lake;
 pub use dln_org as org;
 pub use dln_search as search;
+pub use dln_serve as serve;
 pub use dln_study as study;
 pub use dln_synth as synth;
 
@@ -67,6 +71,10 @@ pub mod prelude {
         NavConfig, Navigator, Organization, OrganizerBuilder, SearchConfig,
     };
     pub use crate::search::{KeywordSearch, SearchHit};
+    pub use crate::serve::{
+        NavService, RetryPolicy, ServeConfig, ServeError, SessionId, StepAction, StepRequest,
+        StepResponse, SwapPolicy,
+    };
     pub use crate::study::{StudyConfig, StudyReport};
     pub use crate::synth::{SocrataConfig, TagCloudConfig};
 }
