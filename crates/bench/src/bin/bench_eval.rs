@@ -18,6 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dln_bench::{git_commit, thread_sweep};
 use dln_org::{clustering_org, ops, Evaluator, NavConfig, OrgContext, Representatives};
 use dln_synth::TagCloudConfig;
 
@@ -122,6 +123,48 @@ fn delta_throughput(
     applied as f64 / start.elapsed().as_secs_f64()
 }
 
+/// The seed revision's 4-accumulator dot kernel, kept verbatim as the A/B
+/// baseline for the 8-lane widening of `dln_embed::dot`.
+fn dot_four_lane(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let chunks = n / 4 * 4;
+    let mut i = 0;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    while i < chunks {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0.0f32;
+    while i < n {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Seconds for `passes` full mat-vec passes of `kernel` over the context's
+/// attribute-unit matrix (the evaluator's dominant inner loop shape).
+fn time_kernel(
+    ctx: &OrgContext,
+    query: &[f32],
+    passes: usize,
+    kernel: fn(&[f32], &[f32]) -> f32,
+) -> f64 {
+    let mut sink = 0.0f32;
+    let start = Instant::now();
+    for _ in 0..passes {
+        for a in 0..ctx.n_attrs() as u32 {
+            sink += kernel(ctx.attr_unit(a), query);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    secs
+}
+
 fn main() {
     let args = parse_args();
     let host_threads = std::thread::available_parallelism()
@@ -156,11 +199,8 @@ fn main() {
 
     let mut ev = Evaluator::new(&ctx, &org, NavConfig::default(), &reps);
 
-    // 1. Full-recompute latency across thread counts.
-    let sweep: Vec<usize> = [1usize, 2, 4, 8]
-        .into_iter()
-        .filter(|&t| t == 1 || t <= host_threads.max(1))
-        .collect();
+    // 1. Full-recompute latency across thread counts (honors DLN_THREADS).
+    let sweep = thread_sweep();
     let mut full_lines = Vec::new();
     let mut full_t1 = f64::NAN;
     let mut full_best = f64::INFINITY;
@@ -196,6 +236,23 @@ fn main() {
     };
     rayon::set_num_threads(0); // restore the environment default
 
+    // 3. Dot-kernel A/B: the seed 4-lane kernel vs the widened 8-lane
+    //    `dln_embed::dot`, on mat-vec passes over the attribute-unit matrix.
+    let query: Vec<f32> = ctx.attr_unit(0).to_vec();
+    let passes = (2_000_000 / ctx.n_attrs()).max(16);
+    time_kernel(&ctx, &query, passes / 4, dot_four_lane); // warm-up
+    let four_lane_secs = time_kernel(&ctx, &query, passes, dot_four_lane);
+    let eight_lane_secs = time_kernel(&ctx, &query, passes, dln_embed::dot);
+    let kernel_speedup = four_lane_secs / eight_lane_secs;
+    eprintln!(
+        "dot kernel ({} passes x {} rows, dim {}): 4-lane {:.1} ms, 8-lane {:.1} ms ({kernel_speedup:.2}x)",
+        passes,
+        ctx.n_attrs(),
+        ctx.dim(),
+        four_lane_secs * 1e3,
+        eight_lane_secs * 1e3
+    );
+
     let parallel_speedup = full_t1 / full_best;
     let cache_speedup = cached_t1 / baseline_t1;
     eprintln!(
@@ -206,6 +263,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"evaluator\",");
+    let _ = writeln!(json, "  \"git_commit\": \"{}\",", git_commit());
     let _ = writeln!(
         json,
         "  \"lake\": {{ \"generator\": \"tagcloud\", \"n_attrs\": {}, \"n_tags\": {}, \"n_tables\": {}, \"seed\": {} }},",
@@ -230,6 +288,17 @@ fn main() {
         let _ = writeln!(json, "    \"cached_threads{max_threads}\": {t:.2},");
     }
     let _ = writeln!(json, "    \"seed_baseline_threads1\": {baseline_t1:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dot_kernel\": {{");
+    let _ = writeln!(
+        json,
+        "    \"rows\": {}, \"dim\": {}, \"passes\": {passes},",
+        ctx.n_attrs(),
+        ctx.dim()
+    );
+    let _ = writeln!(json, "    \"four_lane_seconds\": {four_lane_secs:.6},");
+    let _ = writeln!(json, "    \"eight_lane_seconds\": {eight_lane_secs:.6},");
+    let _ = writeln!(json, "    \"speedup\": {kernel_speedup:.3}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedups\": {{");
     let _ = writeln!(

@@ -23,6 +23,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use dln_bench::{git_commit, thread_sweep};
 use dln_org::search::{optimize, optimize_reference, SearchConfig, SearchStats};
 use dln_org::{clustering_org, random_org, OrgContext};
 use dln_synth::TagCloudConfig;
@@ -125,10 +126,7 @@ fn main() {
         ctx.n_tables()
     );
 
-    let sweep: Vec<usize> = [1usize, 2, 4, 8]
-        .into_iter()
-        .filter(|&t| t == 1 || t <= host_threads.max(1))
-        .collect();
+    let sweep = thread_sweep();
 
     // 1. Construction front-end: context build + clustering init.
     let mut init_lines = Vec::new();
@@ -210,6 +208,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"search\",");
+    let _ = writeln!(json, "  \"git_commit\": \"{}\",", git_commit());
     let _ = writeln!(
         json,
         "  \"lake\": {{ \"generator\": \"tagcloud\", \"n_attrs\": {}, \"n_tags\": {}, \"n_tables\": {}, \"seed\": {} }},",

@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
+use dln_bench::{git_commit, thread_sweep};
 use dln_org::eval::NavConfig;
 use dln_org::{clustering_org, flat_org, OrgContext};
 use dln_serve::{
@@ -258,10 +259,8 @@ fn main() {
         ctx.n_tables()
     );
 
-    let fleet_sweep: Vec<usize> = [1usize, 2, 4, 8]
-        .into_iter()
-        .filter(|&n| n == 1 || n <= host_threads)
-        .collect();
+    // Fleet sizes mirror the worker sweep (honors DLN_THREADS as the cap).
+    let fleet_sweep = thread_sweep();
 
     let mut cells: Vec<CellResult> = Vec::new();
     for &agents in &fleet_sweep {
@@ -309,6 +308,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"serve\",");
+    let _ = writeln!(json, "  \"git_commit\": \"{}\",", git_commit());
     let _ = writeln!(
         json,
         "  \"lake\": {{ \"generator\": \"tagcloud\", \"n_attrs\": {}, \"n_tags\": {}, \"n_tables\": {}, \"seed\": {} }},",

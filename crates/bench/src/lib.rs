@@ -106,6 +106,58 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// The current git commit (short hash, `+dirty` when the tree has local
+/// modifications), or `"unknown"` outside a repository — stamped into
+/// every bench JSON so numbers stay traceable to the code that produced
+/// them.
+pub fn git_commit() -> String {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output();
+    let hash = match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => String::new(),
+    };
+    if hash.is_empty() {
+        return "unknown".to_string();
+    }
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .map(|o| o.status.success() && !o.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{hash}+dirty")
+    } else {
+        hash
+    }
+}
+
+/// The worker counts a bench sweeps over: the canonical `{1, 2, 4, 8}`
+/// ladder capped by `DLN_THREADS` when set (else the host parallelism),
+/// with the cap itself always included — so the configured operating
+/// point is measured even when it is not a power of two, and every bench
+/// binary honors the knob the same way.
+pub fn thread_sweep() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cap = std::env::var("DLN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(host);
+    let mut sweep: Vec<usize> = [1, 2, 4, 8].into_iter().filter(|&t| t <= cap).collect();
+    if !sweep.contains(&cap) {
+        sweep.push(cap);
+    }
+    if sweep.is_empty() {
+        sweep.push(1);
+    }
+    sweep.sort_unstable();
+    sweep
+}
+
 /// Write a CSV file of named columns (columns may have different lengths;
 /// missing cells are left empty).
 pub fn write_csv(dir: &Path, name: &str, columns: &[(&str, &[f64])]) -> std::io::Result<PathBuf> {
@@ -179,6 +231,19 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
         assert_eq!(text, "a,b\n1,3\n2,\n");
+    }
+
+    #[test]
+    fn thread_sweep_is_sorted_dedup_nonempty() {
+        let sweep = thread_sweep();
+        assert!(!sweep.is_empty());
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sweep[0], 1);
+    }
+
+    #[test]
+    fn git_commit_is_nonempty() {
+        assert!(!git_commit().is_empty());
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub trait PairwiseDistance: Sync {
 /// Unit-norm vectors under cosine distance (`1 − a·b`, in `[0, 2]`).
 ///
 /// The adapter borrows the vectors (typically the `unit_topic` fields of
-/// lake tags or attributes) so no copies are made.
+/// lake tags or attributes) so no copies are made. The inner product runs
+/// the 8-lane unrolled [`dot`] kernel with its fixed-order lane reduction,
+/// so distances are bit-identical to the scalar-reference evaluation (see
+/// `dln_embed::dot_scalar_ref`) on every host.
 pub struct CosinePoints<'a> {
     points: Vec<&'a [f32]>,
 }
@@ -239,6 +242,26 @@ mod tests {
                     .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "parallel pairwise matrix diverged at {threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn cosine_kernel_matches_scalar_reference_bitwise() {
+        // Satellite contract: the pairwise distance kernel rides on the
+        // 8-lane unrolled `dot`, which must be bit-identical to the scalar
+        // reference reduction — so the whole distance matrix is too.
+        let pts = unit_vectors(23, 37, 0xD157);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        for i in 0..cp.len() {
+            for j in (i + 1)..cp.len() {
+                let scalar = (1.0 - dln_embed::dot_scalar_ref(&pts[i], &pts[j])).max(0.0);
+                assert_eq!(
+                    cp.dist(i, j).to_bits(),
+                    scalar.to_bits(),
+                    "pairwise kernel diverged from scalar reference at ({i}, {j})"
+                );
+            }
         }
     }
 

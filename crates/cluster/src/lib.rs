@@ -24,7 +24,9 @@
 pub mod agglomerative;
 pub mod distance;
 pub mod kmedoids;
+pub mod partition;
 
 pub use agglomerative::{Dendrogram, Merge};
 pub use distance::{CosinePoints, PairwiseDistance};
 pub use kmedoids::KMedoids;
+pub use partition::partition_indices;

@@ -1,0 +1,79 @@
+//! Index partitioning over a point set — the shared front door for every
+//! "split this universe into k topical groups" decision in the system:
+//! multi-dimensional organizations (§2.5) partition a lake's tags, and
+//! sharded single-dimension construction partitions one dimension's tags
+//! across parallel search workers.
+
+use crate::distance::PairwiseDistance;
+use crate::kmedoids::KMedoids;
+
+/// Partition `points` into at most `k` non-empty groups of point indices
+/// with k-medoids (k-means++-style seeding, deterministic in `seed` and
+/// invariant to the worker count). Groups are returned in medoid-cluster
+/// order, indices ascending within each group; fewer than `k` groups come
+/// back when clusters collapse. An empty point set yields no groups.
+pub fn partition_indices<D: PairwiseDistance>(points: &D, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    let km = KMedoids::fit(points, k, seed);
+    let mut groups = vec![Vec::new(); k];
+    for (i, &c) in km.assignments.iter().enumerate() {
+        groups[c].push(i);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::CosinePoints;
+
+    fn axis_points() -> Vec<Vec<f32>> {
+        // Two tight bundles around orthogonal axes.
+        vec![
+            vec![1.0, 0.0],
+            vec![0.98, 0.199],
+            vec![0.0, 1.0],
+            vec![0.199, 0.98],
+        ]
+    }
+
+    #[test]
+    fn partitions_cover_all_indices_exactly_once() {
+        let pts = axis_points();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        let groups = partition_indices(&cp, 2, 7);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert!(groups.len() <= 2 && !groups.is_empty());
+        for g in &groups {
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "indices ascend in-group");
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_and_empty_is_empty() {
+        let pts = axis_points();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        let groups = partition_indices(&cp, 100, 1);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        let none = CosinePoints::new(Vec::new());
+        assert!(partition_indices(&none, 3, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = axis_points();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        assert_eq!(partition_indices(&cp, 2, 5), partition_indices(&cp, 2, 5));
+    }
+}

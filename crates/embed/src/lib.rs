@@ -42,6 +42,7 @@ pub use model::{
 };
 pub use tokenize::{is_numeric_value, tokenize};
 pub use vector::{
-    batch_dot_wide, cosine, dot, l2_norm, mean, normalize, normalized, TopicAccumulator,
+    batch_dot_wide, cosine, dot, dot_scalar_ref, l2_norm, mean, normalize, normalized,
+    TopicAccumulator,
 };
 pub use vocab::{TokenId, Vocabulary, VocabularyConfig};

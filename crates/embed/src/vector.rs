@@ -8,36 +8,74 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Eight independent accumulator lanes (one 256-bit SIMD register's worth
+/// of `f32`) with a *fixed-order* reduction: the lanes are combined as the
+/// balanced tree `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))` and the scalar
+/// tail (`len % 8` trailing elements) is added last. The unrolled body is
+/// what auto-vectorizes into packed FMAs; the pinned reduction order is
+/// what makes the result reproducible — [`dot_scalar_ref`] evaluates the
+/// same tree with plain strided loops and must agree bit-for-bit.
+///
 /// # Panics
 /// Panics in debug builds if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
-    // The explicit chunked loop auto-vectorizes reliably; see the perf-book
-    // guidance on keeping hot kernels allocation-free and branch-free.
-    let mut acc = 0.0f32;
     let n = a.len();
-    let chunks = n / 4 * 4;
+    let chunks = n / 8 * 8;
     let mut i = 0;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     while i < chunks {
         s0 += a[i] * b[i];
         s1 += a[i + 1] * b[i + 1];
         s2 += a[i + 2] * b[i + 2];
         s3 += a[i + 3] * b[i + 3];
-        i += 4;
+        s4 += a[i + 4] * b[i + 4];
+        s5 += a[i + 5] * b[i + 5];
+        s6 += a[i + 6] * b[i + 6];
+        s7 += a[i + 7] * b[i + 7];
+        i += 8;
     }
+    let mut tail = 0.0f32;
     while i < n {
-        acc += a[i] * b[i];
+        tail += a[i] * b[i];
         i += 1;
     }
-    acc + s0 + s1 + s2 + s3
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
+}
+
+/// Scalar (non-unrolled) reference for [`dot`]: the eight lane sums are
+/// produced by strided scalar loops and reduced in the identical fixed
+/// order, so `dot_scalar_ref(a, b).to_bits() == dot(a, b).to_bits()` for
+/// every input — the bit-identity contract the SIMD-widened kernels (and
+/// the pairwise-distance kernels built on them) are tested against.
+pub fn dot_scalar_ref(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_scalar_ref: dimension mismatch");
+    let n = a.len();
+    let chunks = n / 8 * 8;
+    let mut lanes = [0.0f32; 8];
+    for (lane, s) in lanes.iter_mut().enumerate() {
+        let mut i = lane;
+        while i < chunks {
+            *s += a[i] * b[i];
+            i += 8;
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks..n {
+        tail += a[i] * b[i];
+    }
+    (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])))
+        + tail
 }
 
 /// Dot products of every row of a row-major `n_rows × x.len()` matrix
 /// against `x`, widened to `f64` and written into `out`.
 ///
-/// Each row runs the same unrolled `f32` kernel as [`dot`], so
+/// Each row runs the same 8-lane unrolled `f32` kernel as [`dot`]
+/// (fixed-order lane reduction, scalar tail last), so
 /// `out[i] == dot(row_i, x) as f64` bit-for-bit — callers that cache rows
 /// contiguously (e.g. the evaluator's child-topic matrices) get results
 /// identical to per-row `dot` calls over scattered vectors, but with a
@@ -233,6 +271,26 @@ mod tests {
     #[test]
     fn dot_empty_is_zero() {
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn eight_lane_dot_matches_scalar_reference_bitwise() {
+        // Every tail length 0..8 plus a few longer vectors: the unrolled
+        // kernel and the strided scalar evaluation of the same reduction
+        // tree must agree to the bit.
+        for n in (0..=17).chain([24, 31, 64, 100, 257]) {
+            let a: Vec<f32> = (0..n)
+                .map(|i| ((i * 37 + 11) as f32 * 0.217).sin())
+                .collect();
+            let b: Vec<f32> = (0..n)
+                .map(|i| ((i * 53 + 3) as f32 * 0.113).cos())
+                .collect();
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_scalar_ref(&a, &b).to_bits(),
+                "lane reduction diverged from scalar reference at n={n}"
+            );
+        }
     }
 
     #[test]

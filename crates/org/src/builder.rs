@@ -121,6 +121,19 @@ impl<'a> OrganizerBuilder<'a> {
         }
     }
 
+    /// Sharded construction ([`crate::shard`], DESIGN.md §5e): the group's
+    /// tags are split into [`SearchConfig::shards`] embedding clusters,
+    /// each shard is optimized in parallel, and the shard roots are
+    /// stitched under a router state. With `shards = 1` (the default
+    /// unless `DLN_SHARDS` says otherwise) this is
+    /// [`build_optimized`](Self::build_optimized), bit for bit.
+    pub fn build_sharded(&self) -> crate::shard::ShardedBuild {
+        match &self.group {
+            Some(g) => crate::shard::build_sharded_group(self.lake, g, &self.cfg),
+            None => crate::shard::build_sharded(self.lake, &self.cfg),
+        }
+    }
+
     /// The full pipeline: clustering initialization followed by Metropolis
     /// local search (§3.3).
     pub fn build_optimized(&self) -> BuiltOrganization {

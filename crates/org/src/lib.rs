@@ -37,6 +37,9 @@
 //!   crash-safety layer; see DESIGN.md §5c).
 //! * [`multidim`] — k-dimensional organizations (§2.5, Eq 8) with parallel
 //!   per-dimension optimization.
+//! * [`shard`] — sharded single-dimension construction: tags split into
+//!   embedding clusters, per-shard parallel search, shard roots stitched
+//!   under a top-level router state (DESIGN.md §5e).
 //! * [`success`] — the success-probability evaluation measure (§4.2).
 //! * [`navigate`] — interactive navigation over a built organization
 //!   (state labelling and query-conditioned transitions, §4.4 prototype).
@@ -59,6 +62,7 @@ pub mod multidim;
 pub mod navigate;
 pub mod ops;
 pub mod search;
+pub mod shard;
 pub mod success;
 
 pub use approx::Representatives;
@@ -72,7 +76,8 @@ pub use feedback::NavigationLog;
 pub use graph::{Organization, StateId};
 pub use init::{bisecting_org, clustering_org, flat_org, random_org};
 pub use multidim::{MultiDimConfig, MultiDimOrganization};
-pub use navigate::{transition_probs_from, Navigator};
+pub use navigate::{transition_probs_from, transition_probs_from_mat, Navigator};
 pub use ops::{OpKind, OpOutcome};
 pub use search::{IterStats, SearchConfig, SearchStats, StopReason};
+pub use shard::{build_sharded, build_sharded_group, derive_shard_seed, ShardedBuild};
 pub use success::{success_curve, SuccessCurve};

@@ -12,7 +12,7 @@
 //! P(T | M) = 1 − Π over dimensions i of (1 − P(T | Oᵢ))      (Eq 8)
 //! ```
 
-use dln_cluster::{CosinePoints, KMedoids};
+use dln_cluster::{partition_indices, CosinePoints};
 use dln_lake::{DataLake, TagId};
 
 use crate::builder::{default_threads, BuiltOrganization, OrganizerBuilder};
@@ -198,24 +198,16 @@ impl MultiDimOrganization {
 /// Partition the lake's tags into `k` groups by k-medoids over their unit
 /// topic vectors (cosine distance). Returns at most `k` non-empty groups.
 pub fn partition_tags(lake: &DataLake, k: usize, seed: u64) -> Vec<Vec<TagId>> {
-    let n = lake.n_tags();
-    if n == 0 {
-        return Vec::new();
-    }
-    let k = k.clamp(1, n);
     let points = CosinePoints::new(
         lake.tags()
             .iter()
             .map(|t| t.unit_topic.as_slice())
             .collect(),
     );
-    let km = KMedoids::fit(&points, k, seed);
-    let mut groups = vec![Vec::new(); k];
-    for (t, &c) in km.assignments.iter().enumerate() {
-        groups[c].push(TagId(t as u32));
-    }
-    groups.retain(|g| !g.is_empty());
-    groups
+    partition_indices(&points, k, seed)
+        .into_iter()
+        .map(|g| g.into_iter().map(|t| TagId(t as u32)).collect())
+        .collect()
 }
 
 #[cfg(test)]

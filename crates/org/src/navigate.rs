@@ -7,7 +7,7 @@
 //! them. The simulated study participants in `dln-study` drive exactly
 //! this interface, and the `navigation_repl` example exposes it on stdin.
 
-use dln_embed::dot;
+use dln_embed::{batch_dot_wide, dot};
 use dln_fault::{DlnError, DlnResult};
 use dln_lake::TableId;
 
@@ -36,6 +36,50 @@ pub fn transition_probs_from(
         .iter()
         .map(|&c| (c, scale * dot(&org.state(c).unit_topic, query_unit) as f64))
         .collect();
+    softmax_in_place(&mut scores);
+    scores
+}
+
+/// [`transition_probs_from`] against a precomputed row-major
+/// `n_children × dim` matrix of the state's child unit topics (rows in
+/// `children` order). Serving snapshots cache these matrices per state so
+/// the per-request work is a single streaming mat-vec instead of `k`
+/// pointer-chasing dot products; each row runs the same kernel as the
+/// scattered path ([`dln_embed::batch_dot_wide`]'s contract), and the
+/// softmax is shared, so the probabilities are **bit-identical** to
+/// [`transition_probs_from`].
+///
+/// # Panics
+/// Panics in debug builds when the matrix shape does not match the
+/// state's child count times the query dimensionality.
+pub fn transition_probs_from_mat(
+    org: &Organization,
+    nav: NavConfig,
+    state: StateId,
+    child_mat: &[f32],
+    query_unit: &[f32],
+) -> Vec<(StateId, f64)> {
+    let children = &org.state(state).children;
+    if children.is_empty() {
+        return Vec::new();
+    }
+    debug_assert_eq!(child_mat.len(), children.len() * query_unit.len());
+    let mut dots = Vec::with_capacity(children.len());
+    batch_dot_wide(child_mat, query_unit, children.len(), &mut dots);
+    let scale = nav.gamma as f64 / children.len() as f64;
+    let mut scores: Vec<(StateId, f64)> = children
+        .iter()
+        .zip(&dots)
+        .map(|(&c, &d)| (c, scale * d))
+        .collect();
+    softmax_in_place(&mut scores);
+    scores
+}
+
+/// The Eq 1 softmax (max-subtracted, normalized when the mass is
+/// positive), shared by the scattered and cached-matrix transition paths
+/// so both produce the same bits.
+fn softmax_in_place(scores: &mut [(StateId, f64)]) {
     let max = scores
         .iter()
         .map(|(_, s)| *s)
@@ -50,7 +94,6 @@ pub fn transition_probs_from(
             *s /= sum;
         }
     }
-    scores
 }
 
 /// A cursor over an organization, remembering the path from the root.
@@ -244,6 +287,32 @@ mod tests {
         let via_nav = nav.transition_probs(&query);
         let via_free = transition_probs_from(&org, NavConfig::default(), org.root(), &query);
         assert_eq!(via_nav, via_free);
+    }
+
+    #[test]
+    fn cached_matrix_transitions_match_scattered_bitwise() {
+        let (ctx, org) = setup();
+        let nav = NavConfig::default();
+        let query = ctx.attr(0).unit_topic.clone();
+        for sid in org.alive_ids() {
+            let children = &org.state(sid).children;
+            let mut mat = Vec::with_capacity(children.len() * ctx.dim());
+            for &c in children {
+                mat.extend_from_slice(&org.state(c).unit_topic);
+            }
+            let scattered = transition_probs_from(&org, nav, sid, &query);
+            let cached = transition_probs_from_mat(&org, nav, sid, &mat, &query);
+            assert_eq!(scattered.len(), cached.len());
+            for ((s1, p1), (s2, p2)) in scattered.iter().zip(&cached) {
+                assert_eq!(s1, s2);
+                assert_eq!(
+                    p1.to_bits(),
+                    p2.to_bits(),
+                    "probs diverge at state {}",
+                    sid.0
+                );
+            }
+        }
     }
 
     #[test]

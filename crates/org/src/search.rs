@@ -110,6 +110,15 @@ pub struct SearchConfig {
     /// environment variables, else off. Write failures degrade to a
     /// warning — a failed checkpoint never aborts the search.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Shard count for sharded construction ([`crate::shard`]): the
+    /// dimension's tags are partitioned into this many embedding clusters,
+    /// each shard is optimized independently (in parallel), and the shard
+    /// roots are stitched under a top-level router state. `1` is the
+    /// ordinary single-organization path, reproduced bit-for-bit. Defaults
+    /// to the `DLN_SHARDS` environment variable, else 1. Excluded from the
+    /// checkpoint fingerprint: the knob routes construction *around*
+    /// [`optimize`], which each shard still enters with `shards = 1`.
+    pub shards: usize,
 }
 
 impl Default for SearchConfig {
@@ -125,8 +134,19 @@ impl Default for SearchConfig {
             seed: 0x0DD5_EA4C,
             deadline: deadline_from_env(),
             checkpoint: checkpoint_from_env(),
+            shards: shards_from_env(),
         }
     }
+}
+
+/// The `DLN_SHARDS` environment override for [`SearchConfig::shards`]
+/// (ignored unless it parses to ≥ 1).
+fn shards_from_env() -> usize {
+    std::env::var("DLN_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
 }
 
 /// The `DLN_BATCH` environment override for [`SearchConfig::batch_size`]

@@ -32,9 +32,7 @@ use std::sync::{Arc, Mutex};
 use dln_fault::should_fail_keyed;
 use dln_lake::TableId;
 use dln_org::eval::NavConfig;
-use dln_org::{
-    transition_probs_from, BuiltOrganization, NavigationLog, OrgContext, Organization, StateId,
-};
+use dln_org::{BuiltOrganization, NavigationLog, OrgContext, Organization, StateId};
 
 use crate::clock::{Clock, WallClock};
 use crate::error::{ServeError, ServeResult};
@@ -533,7 +531,10 @@ impl NavService {
         let here = s.current();
         let state = snap.org().state(here);
         let probs: Option<Vec<(StateId, f64)>> = match (&req.query, degraded) {
-            (Some(q), false) => Some(transition_probs_from(snap.org(), snap.nav(), here, q)),
+            // Snapshot-cached Eq 1 ranking: bit-identical to
+            // `transition_probs_from`, but the child-topic gather is paid
+            // once per state per epoch instead of once per request.
+            (Some(q), false) => Some(snap.transition_probs(here, q)),
             _ => None,
         };
         let children = state
@@ -770,6 +771,104 @@ mod tests {
             .step(sid, &StepRequest::action(StepAction::Stay))
             .unwrap();
         assert_eq!(again.swap, SwapOutcome::Current);
+    }
+
+    #[test]
+    fn migrate_replays_across_unsharded_to_sharded_republish() {
+        // A live session on an unsharded snapshot survives a republication
+        // that installs a *sharded* (router-stitched) organization: the
+        // path replays by tag-set identity, the view renders ranked
+        // children over the router hop, and descending into a shard root
+        // works like any other edge.
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let svc = NavService::new(
+            ctx.clone(),
+            clustering_org(&ctx),
+            NavConfig::default(),
+            ServeConfig::default(),
+        );
+        let sid = svc.open_session().unwrap();
+        let q = query_of(&ctx);
+        // Walk two levels down the unsharded org.
+        for _ in 0..2 {
+            let mut req = StepRequest::action(StepAction::Stay);
+            req.query = Some(q.clone());
+            let view = svc.step(sid, &req).unwrap();
+            let Some(best) = view
+                .children
+                .iter()
+                .max_by(|a, b| {
+                    a.prob
+                        .partial_cmp(&b.prob)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|c| c.state)
+            else {
+                break;
+            };
+            svc.step(sid, &StepRequest::action(StepAction::Descend(best)))
+                .unwrap();
+        }
+        let old_depth = svc.session_path(sid).unwrap().len() - 1;
+        assert!(old_depth >= 1);
+
+        let sharded = dln_org::build_sharded(
+            &bench.lake,
+            &dln_org::SearchConfig {
+                shards: 4,
+                max_iters: 80,
+                deadline: None,
+                checkpoint: None,
+                ..Default::default()
+            },
+        );
+        assert!(sharded.n_shards() > 1);
+        let e1 = svc.publish(
+            sharded.built.ctx,
+            sharded.built.organization,
+            sharded.built.nav,
+        );
+        assert_eq!(e1, 1);
+
+        let mut req = StepRequest::action(StepAction::Stay);
+        req.query = Some(q.clone());
+        let resp = svc.step(sid, &req).unwrap();
+        match resp.swap {
+            SwapOutcome::Migrated {
+                from_epoch,
+                to_epoch,
+                lost_depth,
+            } => {
+                assert_eq!((from_epoch, to_epoch), (0, 1));
+                assert_eq!(resp.depth + lost_depth, old_depth);
+            }
+            other => panic!("expected migration, got {other:?}"),
+        }
+        assert_eq!(svc.validate_live_paths(), (1, 0));
+        // If the session landed back at the router, its ranked children
+        // are the top of the binary routing tier (not the shard roots —
+        // the stitch keeps the router's fan-out at two).
+        if resp.depth == 0 {
+            assert!(resp.children.len() <= 2 && !resp.children.is_empty());
+        }
+        let sum: f64 = resp.children.iter().filter_map(|c| c.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "router ranking is a distribution");
+        let best = resp
+            .children
+            .iter()
+            .max_by(|a, b| {
+                a.prob
+                    .partial_cmp(&b.prob)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|c| c.state)
+            .unwrap();
+        let down = svc
+            .step(sid, &StepRequest::action(StepAction::Descend(best)))
+            .unwrap();
+        assert_eq!(down.swap, SwapOutcome::Current);
+        assert_eq!(down.depth, resp.depth + 1);
     }
 
     #[test]

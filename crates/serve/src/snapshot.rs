@@ -23,7 +23,7 @@
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use dln_org::eval::NavConfig;
-use dln_org::{OrgContext, Organization, StateId};
+use dln_org::{transition_probs_from_mat, OrgContext, Organization, StateId};
 
 /// An immutable, shareable view of one published organization.
 pub struct OrgSnapshot {
@@ -34,6 +34,12 @@ pub struct OrgSnapshot {
     /// Per-slot display labels, computed on first use and shared by every
     /// session on this snapshot.
     labels: Vec<OnceLock<String>>,
+    /// Per-slot row-major `n_children × dim` child unit-topic matrices for
+    /// the Eq 1 transition ranking, computed on first use and shared by
+    /// every session — structure is immutable after publication, so one
+    /// gather pays for the whole epoch and each request's ranking becomes
+    /// a single streaming mat-vec over contiguous memory.
+    child_mats: Vec<OnceLock<Vec<f32>>>,
 }
 
 impl OrgSnapshot {
@@ -41,12 +47,15 @@ impl OrgSnapshot {
     pub fn new(epoch: u64, ctx: Arc<OrgContext>, org: Arc<Organization>, nav: NavConfig) -> Self {
         let mut labels = Vec::with_capacity(org.n_slots());
         labels.resize_with(org.n_slots(), OnceLock::new);
+        let mut child_mats = Vec::with_capacity(org.n_slots());
+        child_mats.resize_with(org.n_slots(), OnceLock::new);
         OrgSnapshot {
             epoch,
             ctx,
             org,
             nav,
             labels,
+            child_mats,
         }
     }
 
@@ -78,6 +87,24 @@ impl OrgSnapshot {
     /// sessions of this snapshot.
     pub fn label(&self, sid: StateId) -> &str {
         self.labels[sid.index()].get_or_init(|| self.org.label(&self.ctx, sid, 2))
+    }
+
+    /// Eq 1 transition probabilities out of `sid` for a query topic,
+    /// served from the snapshot's cached child-topic matrix —
+    /// **bit-identical** to
+    /// [`dln_org::transition_probs_from`] (the cached path runs the same
+    /// dot kernel row-by-row and the same softmax), but without re-walking
+    /// the children's scattered topic vectors on every request.
+    pub fn transition_probs(&self, sid: StateId, query_unit: &[f32]) -> Vec<(StateId, f64)> {
+        let mat = self.child_mats[sid.index()].get_or_init(|| {
+            let children = &self.org.state(sid).children;
+            let mut m = Vec::with_capacity(children.len() * self.ctx.dim());
+            for &c in children {
+                m.extend_from_slice(&self.org.state(c).unit_topic);
+            }
+            m
+        });
+        transition_probs_from_mat(&self.org, self.nav, sid, mat, query_unit)
     }
 
     /// Is `path` a root-anchored chain of alive edges on this snapshot?
@@ -219,6 +246,24 @@ mod tests {
         let l2 = s.label(root).to_string();
         assert_eq!(l1, l2);
         assert!(!l1.is_empty());
+    }
+
+    #[test]
+    fn cached_transition_ranking_matches_free_function_bitwise() {
+        let (s, _) = snap(0);
+        let query = s.ctx().attr(0).unit_topic.clone();
+        for sid in s.org().alive_ids() {
+            let free = dln_org::transition_probs_from(s.org(), s.nav(), sid, &query);
+            // Twice: first call fills the cache, second serves from it.
+            for _ in 0..2 {
+                let cached = s.transition_probs(sid, &query);
+                assert_eq!(free.len(), cached.len());
+                for ((s1, p1), (s2, p2)) in free.iter().zip(&cached) {
+                    assert_eq!(s1, s2);
+                    assert_eq!(p1.to_bits(), p2.to_bits(), "state {} diverged", sid.0);
+                }
+            }
+        }
     }
 
     #[test]

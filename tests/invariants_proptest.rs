@@ -17,8 +17,8 @@ use std::collections::BTreeSet;
 
 use datalake_nav::org::search::{optimize, optimize_reference, resume, SearchConfig, StopReason};
 use datalake_nav::org::{
-    clustering_org, ops, random_org, Checkpoint, CheckpointConfig, Evaluator, NavConfig,
-    OrgContext, Organization, Representatives,
+    build_sharded, clustering_org, ops, random_org, Checkpoint, CheckpointConfig, Evaluator,
+    NavConfig, OrgContext, Organization, OrganizerBuilder, Representatives,
 };
 use datalake_nav::prelude::*;
 use datalake_nav::study::mann_whitney_u;
@@ -356,6 +356,109 @@ fn killed_and_resumed_search_is_bit_identical() {
             "case {case} ({kills} kills)"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn sharded_one_shard_is_bit_identical_across_seeds() {
+    // Sharding-PR property (a): `shards = 1` routes through the ordinary
+    // clustering + optimize path bit-for-bit — same arena, same tags, same
+    // edges, same unit topics — whatever the lake and search seeds.
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    for _case in 0..4 {
+        let bench = TagCloudConfig {
+            n_tags: 12,
+            n_attrs_target: 60,
+            store_values: false,
+            seed: rng.random::<u64>(),
+            ..TagCloudConfig::small()
+        }
+        .generate();
+        let cfg = SearchConfig {
+            max_iters: 60,
+            shards: 1,
+            seed: rng.random::<u64>(),
+            deadline: None,
+            checkpoint: None,
+            ..Default::default()
+        };
+        let plain = OrganizerBuilder::new(&bench.lake)
+            .search_config(cfg.clone())
+            .build_optimized();
+        let sharded = build_sharded(&bench.lake, &cfg);
+        assert_eq!(sharded.n_shards(), 1);
+        assert_eq!(
+            sharded.built.organization.fingerprint(),
+            plain.organization.fingerprint(),
+            "shards = 1 must reproduce build_optimized bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn stitched_org_incremental_evaluator_matches_fresh_at_any_thread_count() {
+    // Sharding-PR property (b): the incremental parallel evaluator driven
+    // over a *stitched* multi-root organization (router + routing tier +
+    // copied shard structure) agrees with a fresh full evaluation to 1e-9
+    // after every applied op, at 1 and 4 workers — and the final evaluator
+    // state is bit-identical across those worker counts.
+    let mut rng = StdRng::seed_from_u64(0x5717C4);
+    for _case in 0..3 {
+        let bench = TagCloudConfig {
+            n_tags: 12,
+            n_attrs_target: 60,
+            store_values: false,
+            seed: rng.random::<u64>(),
+            ..TagCloudConfig::small()
+        }
+        .generate();
+        let cfg = SearchConfig {
+            max_iters: 40,
+            shards: rng.random_range(2..5u32) as usize,
+            seed: rng.random::<u64>(),
+            deadline: None,
+            checkpoint: None,
+            ..Default::default()
+        };
+        let sharded = build_sharded(&bench.lake, &cfg);
+        assert!(sharded.n_shards() > 1, "case must exercise a real stitch");
+        let ctx = &sharded.built.ctx;
+        let reps = Representatives::exact(ctx);
+        let nav = NavConfig::default();
+        let steps = random_steps(&mut rng);
+        let mut final_bits: Vec<Vec<u64>> = Vec::new();
+        for threads in [1usize, 4] {
+            rayon::set_num_threads(threads);
+            let mut org = sharded.built.organization.clone();
+            let mut ev = Evaluator::new(ctx, &org, nav, &reps);
+            for &(kind, target_raw, _keep) in &steps {
+                let targets: Vec<_> = org.alive_ids().filter(|&s| s != org.root()).collect();
+                let target = targets[target_raw as usize % targets.len()];
+                let reach = ev.reachability();
+                let outcome = if kind == 0 {
+                    ops::try_add_parent(&mut org, ctx, target, &reach)
+                } else {
+                    ops::try_delete_parent(&mut org, ctx, target, &reach)
+                };
+                let Some(outcome) = outcome else { continue };
+                org.validate(ctx)
+                    .expect("stitched org stays valid under ops");
+                ev.apply_delta(ctx, &org, &outcome.dirty_parents);
+                let fresh = Evaluator::new(ctx, &org, nav, &reps);
+                assert!(
+                    (ev.effectiveness() - fresh.effectiveness()).abs() < 1e-9,
+                    "incremental {} vs fresh {} at {threads} threads",
+                    ev.effectiveness(),
+                    fresh.effectiveness()
+                );
+            }
+            final_bits.push(eval_bits(&ev, ctx));
+        }
+        rayon::set_num_threads(0);
+        assert_eq!(
+            final_bits[0], final_bits[1],
+            "stitched-org evaluation changed with the worker count"
+        );
     }
 }
 
