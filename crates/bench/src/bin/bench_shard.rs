@@ -1,6 +1,7 @@
 //! Sharded-construction benchmark: emits `BENCH_shard.json`.
 //!
-//! Measures, on a TagCloud lake, a grid of `shards × threads` cells:
+//! Measures, on a TagCloud lake, a grid of `shard-policy × threads`
+//! cells (fixed counts 1/2/4 plus `auto`, the knee-of-cost-curve policy):
 //!
 //! 1. **Construction wall-clock** of [`build_sharded`] — partitioning,
 //!    all per-shard searches under the parallel schedule, and the router
@@ -18,6 +19,9 @@
 //! falls roughly quadratically with the shard's tag share — which is why
 //! the single-thread cells already improve.
 //!
+//! The `auto` cell also reports the knee its spectrum chose
+//! (`auto_knee`).
+//!
 //! Flags: `--attrs <n>` target attribute count (default 800), `--seed <n>`,
 //! `--iters <n>` proposal budget per shard search (default 200),
 //! `--out <path>` JSON output path (default `BENCH_shard.json`).
@@ -28,7 +32,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dln_bench::{git_commit, thread_sweep};
-use dln_org::{build_sharded, OrgContext, SearchConfig, ShardedBuild};
+use dln_org::{build_sharded, OrgContext, SearchConfig, ShardPolicy, ShardedBuild};
 use dln_synth::TagCloudConfig;
 
 struct Args {
@@ -90,7 +94,7 @@ fn timed_build(
     lake: &dln_lake::DataLake,
     seed: u64,
     iters: usize,
-    shards: usize,
+    shards: ShardPolicy,
 ) -> (f64, ShardedBuild) {
     let cfg = SearchConfig {
         max_iters: iters,
@@ -134,21 +138,31 @@ fn main() {
     );
 
     let sweep = thread_sweep();
-    let shard_counts = [1usize, 2, 4];
+    let policies = [
+        ShardPolicy::Fixed(1),
+        ShardPolicy::Fixed(2),
+        ShardPolicy::Fixed(4),
+        ShardPolicy::Auto,
+    ];
     let mut lines = Vec::new();
     for &threads in &sweep {
         rayon::set_num_threads(threads);
         let mut oracle_secs = f64::NAN;
         let mut oracle_eff = f64::NAN;
-        for &shards in &shard_counts {
+        for &shards in &policies {
             let (secs, build) = timed_build(&bench.lake, args.seed, args.iters, shards);
             let eff = build.effectiveness();
-            if shards == 1 {
+            if shards == ShardPolicy::Fixed(1) {
                 oracle_secs = secs;
                 oracle_eff = eff;
             }
             let vs_secs = secs / oracle_secs;
             let vs_eff = eff / oracle_eff;
+            let knee = build
+                .shard_spectrum
+                .as_ref()
+                .map(|s| s.knee.to_string())
+                .unwrap_or_else(|| "null".to_string());
             eprintln!(
                 "shards={shards} @ {threads} thread(s): {:.1} ms ({vs_secs:.3}x oracle), \
                  effectiveness {eff:.6} ({vs_eff:.4}x oracle), {} shards built, {} proposals",
@@ -157,7 +171,7 @@ fn main() {
                 build.total_iterations()
             );
             lines.push(format!(
-                "    {{ \"threads\": {threads}, \"shards\": {shards}, \"seconds\": {secs:.6}, \"effectiveness\": {eff:.9}, \"n_shards_built\": {}, \"iterations\": {}, \"vs_unsharded_seconds\": {vs_secs:.4}, \"vs_unsharded_effectiveness\": {vs_eff:.4} }}",
+                "    {{ \"threads\": {threads}, \"shards\": \"{shards}\", \"auto_knee\": {knee}, \"seconds\": {secs:.6}, \"effectiveness\": {eff:.9}, \"n_shards_built\": {}, \"iterations\": {}, \"vs_unsharded_seconds\": {vs_secs:.4}, \"vs_unsharded_effectiveness\": {vs_eff:.4} }}",
                 build.n_shards(),
                 build.total_iterations()
             ));

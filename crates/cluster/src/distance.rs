@@ -1,7 +1,10 @@
 //! Pairwise-distance abstraction used by both clustering algorithms, plus
-//! the shared (optionally parallel) dense-matrix builder.
+//! the shared distance stores: the dense (optionally parallel) matrix
+//! builder and the condensed strict-upper-triangle store that replaces it
+//! inside the scale path ([`CondensedMatrix`], `n(n−1)/2` entries — ~half
+//! the dense peak).
 
-use dln_embed::dot;
+use dln_embed::{dot, gram_into, GRAM_TILE_ROWS};
 use rayon::prelude::*;
 
 /// A finite set of points with a symmetric, non-negative pairwise distance.
@@ -12,6 +15,26 @@ pub trait PairwiseDistance: Sync {
     /// Distance between points `i` and `j`. Must be symmetric with
     /// `dist(i, i) == 0`.
     fn dist(&self, i: usize, j: usize) -> f32;
+
+    /// Fill `out` (row-major, `rows.len() × cols.len()`) with
+    /// `out[r * cols.len() + c] = dist(rows[r], cols[c])`.
+    ///
+    /// The default evaluates one [`dist`] per element; implementations with
+    /// a tiled kernel (see [`CosinePoints`]) override it to cut operand
+    /// traffic, but every element must stay **bit-identical** to the
+    /// corresponding `dist` call — block evaluation is a bandwidth
+    /// optimization, never a numerical one.
+    ///
+    /// [`dist`]: PairwiseDistance::dist
+    fn dist_block(&self, rows: &[usize], cols: &[usize], out: &mut [f32]) {
+        let nc = cols.len();
+        debug_assert_eq!(out.len(), rows.len() * nc, "dist_block: shape mismatch");
+        for (r, &i) in rows.iter().enumerate() {
+            for (c, &j) in cols.iter().enumerate() {
+                out[r * nc + c] = self.dist(i, j);
+            }
+        }
+    }
 
     /// True when the set is empty.
     fn is_empty(&self) -> bool {
@@ -25,7 +48,9 @@ pub trait PairwiseDistance: Sync {
 /// lake tags or attributes) so no copies are made. The inner product runs
 /// the 8-lane unrolled [`dot`] kernel with its fixed-order lane reduction,
 /// so distances are bit-identical to the scalar-reference evaluation (see
-/// `dln_embed::dot_scalar_ref`) on every host.
+/// `dln_embed::dot_scalar_ref`) on every host. Block requests
+/// ([`PairwiseDistance::dist_block`]) ride the tiled [`gram_into`] kernel,
+/// which reproduces `dot` bit-for-bit per element.
 pub struct CosinePoints<'a> {
     points: Vec<&'a [f32]>,
 }
@@ -58,6 +83,229 @@ impl PairwiseDistance for CosinePoints<'_> {
         }
         (1.0 - dot(self.points[i], self.points[j])).max(0.0)
     }
+
+    fn dist_block(&self, rows: &[usize], cols: &[usize], out: &mut [f32]) {
+        let nc = cols.len();
+        debug_assert_eq!(out.len(), rows.len() * nc, "dist_block: shape mismatch");
+        if rows.is_empty() || nc == 0 {
+            return;
+        }
+        let rrefs: Vec<&[f32]> = rows.iter().map(|&i| self.points[i]).collect();
+        let crefs: Vec<&[f32]> = cols.iter().map(|&j| self.points[j]).collect();
+        gram_into(&rrefs, &crefs, out);
+        // Same post-transform as `dist`, element by element; the diagonal
+        // check compares *indices*, matching `dist`'s exact-zero contract.
+        for (r, &i) in rows.iter().enumerate() {
+            for (c, &j) in cols.iter().enumerate() {
+                let slot = &mut out[r * nc + c];
+                *slot = if i == j { 0.0 } else { (1.0 - *slot).max(0.0) };
+            }
+        }
+    }
+}
+
+/// Condensed-index span filled per parallel unit when building a
+/// [`CondensedMatrix`] — entries are pure functions of their `(i, j)` pair,
+/// so the split is a pure scheduling choice (any chunk size / thread count
+/// produces identical bits).
+const CONDENSED_BUILD_CHUNK: usize = 1 << 15;
+
+/// Strict-upper-triangle pairwise-distance store: entry `(i, j)` with
+/// `i < j` lives at `row_start(i) + (j − i − 1)`, rows stored back to back.
+/// `n(n−1)/2` f32 entries — ~half the dense `n × n` peak, the difference
+/// between a ~10.4 GB and a ~5.2 GB working set at full-Socrata scale
+/// (50,879 attributes).
+///
+/// Reads on a row `x` come in two flavours: `(y, x)` with `y < x` is a
+/// strided walk down earlier rows, `(x, y)` with `y > x` is the contiguous
+/// tail slice ([`row_tail`]). The NN-chain clustering loop exploits exactly
+/// that split.
+///
+/// [`row_tail`]: CondensedMatrix::row_tail
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl CondensedMatrix {
+    /// First condensed index of row `i` (entries `(i, i+1..n)`).
+    #[inline]
+    fn row_start(n: usize, i: usize) -> usize {
+        i * (n - 1) - i * (i.saturating_sub(1)) / 2
+    }
+
+    /// Condensed index of `(i, j)`, `i < j`.
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        Self::row_start(self.n, i) + (j - i - 1)
+    }
+
+    /// Build the strict upper triangle of `points`' distance matrix, each
+    /// pair evaluated exactly once via [`PairwiseDistance::dist_block`]
+    /// (tiled row bands where whole rows fit a build chunk, single-row
+    /// spans at chunk edges). Parallel across condensed-index chunks;
+    /// bit-identical at any thread count because every entry is a pure
+    /// function of its `(i, j)` pair.
+    pub fn from_points<D: PairwiseDistance + ?Sized>(points: &D) -> CondensedMatrix {
+        let n = points.len();
+        if n < 2 {
+            return CondensedMatrix {
+                n,
+                data: Vec::new(),
+            };
+        }
+        let mut data = vec![0.0f32; n * (n - 1) / 2];
+        let ids: Vec<usize> = (0..n).collect();
+        data.par_chunks_mut(CONDENSED_BUILD_CHUNK)
+            .enumerate()
+            .for_each_init(Vec::new, |scratch, (ci, seg)| {
+                fill_condensed_span(points, n, &ids, ci * CONDENSED_BUILD_CHUNK, seg, scratch);
+            });
+        CondensedMatrix { n, data }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries (`n(n−1)/2`).
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes held by the condensed store — the "peak distance-store bytes"
+    /// a scale bench reports.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes the dense `n × n` working matrix would need instead.
+    #[inline]
+    pub fn dense_baseline_bytes(&self) -> usize {
+        self.n * self.n * std::mem::size_of::<f32>()
+    }
+
+    /// Entry `(i, j)` with `i < j` (ordered, no diagonal branch).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[self.index(i, j)]
+    }
+
+    /// Entry for any `(i, j)` pair: zero on the diagonal, otherwise the
+    /// stored `(min, max)` value — symmetric by construction.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        match i.cmp(&j) {
+            std::cmp::Ordering::Less => self.at(i, j),
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => self.at(j, i),
+        }
+    }
+
+    /// Overwrite entry `(i, j)`, `i < j` (both dense triangles at once, in
+    /// condensed terms — there is only the one copy).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        let idx = self.index(i, j);
+        self.data[idx] = v;
+    }
+
+    /// The contiguous tail of row `i`: entries `(i, i+1..n)` in `j` order.
+    #[inline]
+    pub fn row_tail(&self, i: usize) -> &[f32] {
+        let start = Self::row_start(self.n, i);
+        &self.data[start..start + (self.n - 1 - i)]
+    }
+}
+
+impl PairwiseDistance for CondensedMatrix {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f32 {
+        self.get(i, j)
+    }
+}
+
+/// Row containing condensed index `pos` (largest `i` with
+/// `row_start(i) <= pos`); `pos` must be below `n(n−1)/2`.
+fn condensed_row_of(n: usize, pos: usize) -> usize {
+    let (mut lo, mut hi) = (0usize, n - 2);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if CondensedMatrix::row_start(n, mid) <= pos {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Fill the condensed-index span `[start, start + seg.len())` of the strict
+/// upper triangle into `seg`. Whole rows that fit the span are batched into
+/// up to [`GRAM_TILE_ROWS`]-row rectangles (one `dist_block` over columns
+/// `i+1..n`, per-row tails copied out); partial rows at span edges go
+/// through single-row `dist_block` calls. Either way each element is the
+/// implementation's `dist(min, max)` bit-for-bit, so the batching never
+/// shows up in the output.
+fn fill_condensed_span<D: PairwiseDistance + ?Sized>(
+    points: &D,
+    n: usize,
+    ids: &[usize],
+    start: usize,
+    seg: &mut [f32],
+    scratch: &mut Vec<f32>,
+) {
+    let end = start + seg.len();
+    let mut pos = start;
+    let mut i = condensed_row_of(n, start);
+    while pos < end {
+        let row_start = CondensedMatrix::row_start(n, i);
+        let row_end = row_start + (n - 1 - i);
+        if pos == row_start && row_end <= end {
+            // Batch consecutive complete rows into one rectangle over the
+            // widest row's columns; row i+r's tail starts r entries in.
+            let mut r = 1;
+            while r < GRAM_TILE_ROWS
+                && i + r < n - 1
+                && CondensedMatrix::row_start(n, i + r) + (n - 1 - (i + r)) <= end
+            {
+                r += 1;
+            }
+            let width = n - 1 - i;
+            scratch.clear();
+            scratch.resize(r * width, 0.0);
+            points.dist_block(&ids[i..i + r], &ids[i + 1..n], scratch);
+            for rr in 0..r {
+                let row_len = n - 1 - (i + rr);
+                let dst = CondensedMatrix::row_start(n, i + rr) - start;
+                seg[dst..dst + row_len]
+                    .copy_from_slice(&scratch[rr * width + rr..(rr + 1) * width]);
+            }
+            i += r;
+            pos = CondensedMatrix::row_start(n, i);
+        } else {
+            let j0 = i + 1 + (pos - row_start);
+            let take = end.min(row_end) - pos;
+            points.dist_block(
+                &ids[i..i + 1],
+                &ids[j0..j0 + take],
+                &mut seg[pos - start..pos - start + take],
+            );
+            pos += take;
+            if pos == row_end {
+                i += 1;
+            }
+        }
+    }
 }
 
 /// Fill `out` with the dense row-major `n × n` pairwise-distance matrix of
@@ -68,14 +316,13 @@ impl PairwiseDistance for CosinePoints<'_> {
 /// symmetric yields an exactly symmetric matrix, bit-identical at any
 /// thread count.
 ///
-/// With more than one worker available, full rows are computed in parallel
-/// (each row is `n` distance evaluations — a balanced unit of work), with
-/// every entry in either triangle evaluated as `dist(min, max)` so the two
-/// halves are bit-identical copies of the same call. That evaluates each
-/// off-diagonal pair twice, which is why a single worker takes the plain
-/// half-matrix loop instead: the parallel build wins from two workers up
-/// (W/2 effective speedup on the dominant distance kernels), and the
-/// one-core path keeps the serial operation count.
+/// The build first fills a [`CondensedMatrix`] (each off-diagonal pair
+/// evaluated **once**, tiled, in parallel across condensed chunks), then
+/// mirror-expands it into both dense triangles row by row. That matches
+/// the serial loop's operation count — the old parallel path evaluated
+/// every pair twice, once per triangle — at the price of a transient
+/// `n(n−1)/2`-entry staging buffer (peak 1.5× dense; dense callers are the
+/// small-`n` oracle path, so the staging cost is noise there).
 pub fn pairwise_matrix_into<D: PairwiseDistance + ?Sized>(points: &D, out: &mut Vec<f32>) {
     let n = points.len();
     out.clear();
@@ -83,25 +330,12 @@ pub fn pairwise_matrix_into<D: PairwiseDistance + ?Sized>(points: &D, out: &mut 
     if n < 2 {
         return;
     }
-    if rayon::current_num_threads() > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
-            for (j, slot) in row.iter_mut().enumerate() {
-                if i < j {
-                    *slot = points.dist(i, j);
-                } else if i > j {
-                    *slot = points.dist(j, i);
-                }
-            }
-        });
-    } else {
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = points.dist(i, j);
-                out[i * n + j] = v;
-                out[j * n + i] = v;
-            }
+    let cond = CondensedMatrix::from_points(points);
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = cond.get(i, j);
         }
-    }
+    });
 }
 
 /// Build a [`MatrixDistance`] from any point set via
@@ -278,5 +512,102 @@ mod tests {
                 assert_eq!(m.dist(i, j).to_bits(), m.dist(j, i).to_bits());
             }
         }
+    }
+
+    #[test]
+    fn dist_block_matches_dist_bitwise() {
+        // The tiled CosinePoints block and the per-pair default (via
+        // MatrixDistance) must both reproduce `dist` element-for-element,
+        // including diagonal (i == j) slots and ragged shapes around the
+        // 4×4 tile size.
+        let pts = unit_vectors(13, 29, 0xB10C);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        let md = pairwise_matrix(&cp);
+        let rows = [0usize, 3, 7, 12, 5];
+        let cols = [2usize, 3, 11, 0, 5, 9, 1];
+        let mut got_cp = vec![f32::NAN; rows.len() * cols.len()];
+        let mut got_md = vec![f32::NAN; rows.len() * cols.len()];
+        cp.dist_block(&rows, &cols, &mut got_cp);
+        md.dist_block(&rows, &cols, &mut got_md);
+        for (r, &i) in rows.iter().enumerate() {
+            for (c, &j) in cols.iter().enumerate() {
+                let k = r * cols.len() + c;
+                assert_eq!(got_cp[k].to_bits(), cp.dist(i, j).to_bits(), "({i},{j})");
+                assert_eq!(got_md[k].to_bits(), md.dist(i, j).to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_matches_direct_dist_bitwise() {
+        // Tentpole contract: every condensed entry is the `dist(min, max)`
+        // evaluation bit-for-bit, across sizes that exercise single-row
+        // fills, multi-row rectangles, and chunk-edge partial rows.
+        for &n in &[2usize, 3, 5, 23, 67, 130] {
+            let pts = unit_vectors(n, 19, 0xC0DE ^ n as u64);
+            let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+            let cp = CosinePoints::new(refs);
+            let cond = CondensedMatrix::from_points(&cp);
+            assert_eq!(cond.n(), n);
+            assert_eq!(cond.entries(), n * (n - 1) / 2);
+            assert_eq!(cond.bytes(), n * (n - 1) / 2 * 4);
+            assert_eq!(cond.dense_baseline_bytes(), n * n * 4);
+            for i in 0..n {
+                assert_eq!(cond.get(i, i), 0.0);
+                for j in (i + 1)..n {
+                    let want = cp.dist(i, j);
+                    assert_eq!(cond.at(i, j).to_bits(), want.to_bits(), "n={n} ({i},{j})");
+                    assert_eq!(cond.get(j, i).to_bits(), want.to_bits());
+                }
+                assert_eq!(cond.row_tail(i).len(), n - 1 - i);
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_build_invariant_across_thread_counts() {
+        let pts = unit_vectors(101, 24, 0x7EA);
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        rayon::set_num_threads(1);
+        let serial = CondensedMatrix::from_points(&cp);
+        rayon::set_num_threads(0);
+        for t in [2usize, 4, 8] {
+            rayon::set_num_threads(t);
+            let par = CondensedMatrix::from_points(&cp);
+            rayon::set_num_threads(0);
+            assert!(
+                (0..cp.len()).all(|i| {
+                    ((i + 1)..cp.len()).all(|j| par.at(i, j).to_bits() == serial.at(i, j).to_bits())
+                }),
+                "condensed build diverged at {t} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn condensed_row_of_inverts_row_start() {
+        for n in [2usize, 3, 7, 64, 129] {
+            for i in 0..n - 1 {
+                let s = CondensedMatrix::row_start(n, i);
+                assert_eq!(condensed_row_of(n, s), i);
+                if n - 1 - i > 0 {
+                    assert_eq!(condensed_row_of(n, s + (n - 2 - i)), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_degenerate_sizes() {
+        let empty = CosinePoints::new(vec![]);
+        let c0 = CondensedMatrix::from_points(&empty);
+        assert_eq!((c0.n(), c0.entries(), c0.bytes()), (0, 0, 0));
+        let a = [1.0f32, 0.0];
+        let one = CosinePoints::new(vec![&a]);
+        let c1 = CondensedMatrix::from_points(&one);
+        assert_eq!((c1.n(), c1.entries()), (1, 0));
+        assert_eq!(c1.get(0, 0), 0.0);
     }
 }

@@ -14,6 +14,14 @@
 //! with probability proportional to squared distance to the nearest chosen
 //! medoid), followed by alternating assignment / medoid-update steps until
 //! the assignment stabilizes or `max_iter` is hit.
+//!
+//! The algorithm is **matrix-free**: assignment and seeding stream
+//! [`ASSIGN_BLOCK`]-point strips through the tiled
+//! [`PairwiseDistance::dist_block`] kernel (scratch is `strip × k`, never
+//! `n × n`), so fitting the full 50k-attribute lake costs kilobytes of
+//! working memory. Every streamed distance is bit-identical to the
+//! corresponding one-pair `dist` call, so results are unchanged from the
+//! scalar implementation at any strip size or thread count.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -27,6 +35,15 @@ use crate::distance::PairwiseDistance;
 /// cost sum, the per-cluster argmin) is folded serially in fixed index
 /// order.
 const PAR_MIN_DIST_EVALS: usize = 1 << 14;
+
+/// Points per [`PairwiseDistance::dist_block`] strip in the assignment and
+/// seeding scans. The strips keep k-medoids **matrix-free** — at no point
+/// is anything larger than `ASSIGN_BLOCK × k` distances materialized, so
+/// fitting 50k attribute vectors needs kilobytes of scratch, not the
+/// gigabytes an `n × n` matrix would — while routing every evaluation
+/// through the tiled gram kernel. Every distance is bit-identical to the
+/// corresponding `dist` call, so the strip size is invisible in results.
+const ASSIGN_BLOCK: usize = 64;
 
 /// Result of a k-medoids run.
 #[derive(Clone, Debug)]
@@ -67,10 +84,13 @@ impl KMedoids {
         }
         let k = k.clamp(1, n);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut medoids = seed_plus_plus(points, k, &mut rng);
+        // Shared identity index: dist_block strips borrow their row-id
+        // spans from here instead of regathering per strip.
+        let ids: Vec<usize> = (0..n).collect();
+        let mut medoids = seed_plus_plus(points, k, &ids, &mut rng);
         let mut assignments = vec![0usize; n];
         let mut iterations = 0usize;
-        let mut cost = assign(points, &medoids, &mut assignments);
+        let mut cost = assign(points, &medoids, &ids, &mut assignments);
         while iterations < max_iter {
             iterations += 1;
             // Medoid update: within each cluster, the point minimizing the
@@ -93,7 +113,7 @@ impl KMedoids {
             if !changed {
                 break;
             }
-            let new_cost = assign(points, &medoids, &mut assignments);
+            let new_cost = assign(points, &medoids, &ids, &mut assignments);
             if new_cost >= cost {
                 cost = new_cost;
                 break;
@@ -123,12 +143,36 @@ impl KMedoids {
     }
 }
 
-/// k-means++-style seeding over an arbitrary metric.
-fn seed_plus_plus<D: PairwiseDistance>(points: &D, k: usize, rng: &mut StdRng) -> Vec<usize> {
+/// Fill `out[p] = dist(p, m)` for every point, in [`ASSIGN_BLOCK`]-row
+/// [`PairwiseDistance::dist_block`] strips — each value bit-identical to
+/// the one-pair `dist` call, so callers see no difference beyond speed.
+fn dists_to_one<D: PairwiseDistance>(points: &D, ids: &[usize], m: usize, out: &mut [f32]) {
+    let n = points.len();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + ASSIGN_BLOCK).min(n);
+        points.dist_block(&ids[lo..hi], &[m], &mut out[lo..hi]);
+        lo = hi;
+    }
+}
+
+/// k-means++-style seeding over an arbitrary metric. Distance sweeps run in
+/// [`ASSIGN_BLOCK`] strips on the blocked kernel ([`dists_to_one`]); the
+/// weighted draw and the running-minimum update walk points in ascending
+/// order over bit-identical values, so seeding is unchanged from the
+/// one-pair-at-a-time implementation.
+fn seed_plus_plus<D: PairwiseDistance>(
+    points: &D,
+    k: usize,
+    ids: &[usize],
+    rng: &mut StdRng,
+) -> Vec<usize> {
     let n = points.len();
     let mut medoids = Vec::with_capacity(k);
     medoids.push(rng.random_range(0..n));
-    let mut nearest: Vec<f32> = (0..n).map(|p| points.dist(p, medoids[0])).collect();
+    let mut nearest = vec![0.0f32; n];
+    dists_to_one(points, ids, medoids[0], &mut nearest);
+    let mut fresh = vec![0.0f32; n];
     while medoids.len() < k {
         let total: f64 = nearest.iter().map(|d| (*d as f64) * (*d as f64)).sum();
         let next = if total <= f64::EPSILON {
@@ -148,8 +192,8 @@ fn seed_plus_plus<D: PairwiseDistance>(points: &D, k: usize, rng: &mut StdRng) -
             chosen
         };
         medoids.push(next);
-        for (p, slot) in nearest.iter_mut().enumerate() {
-            let d = points.dist(p, next);
+        dists_to_one(points, ids, next, &mut fresh);
+        for (slot, &d) in nearest.iter_mut().zip(&fresh) {
             if d < *slot {
                 *slot = d;
             }
@@ -206,36 +250,58 @@ fn update_medoid<D: PairwiseDistance>(points: &D, group: &[usize], incumbent: us
 
 /// Assign every point to its nearest medoid; returns the total cost.
 ///
-/// The per-point nearest-medoid scans are independent, so they fan out over
-/// the worker pool when the work warrants it; the cost is then summed
-/// serially in point order, making the result bit-identical to the serial
-/// loop at any thread count.
-fn assign<D: PairwiseDistance>(points: &D, medoids: &[usize], out: &mut [usize]) -> f64 {
+/// Points are processed in [`ASSIGN_BLOCK`]-row strips: one
+/// [`PairwiseDistance::dist_block`] rectangle (`strip × k`, tiled kernel)
+/// followed by per-point first-index strict-minimum scans over the medoids
+/// in order — the same comparisons over bit-identical values as the old
+/// one-`dist`-per-pair loop. Strips are independent, so they fan out over
+/// the worker pool when the work warrants it; assignments and the cost sum
+/// are then folded serially in point order, making the result bit-identical
+/// to the serial loop at any thread or strip count.
+fn assign<D: PairwiseDistance>(
+    points: &D,
+    medoids: &[usize],
+    ids: &[usize],
+    out: &mut [usize],
+) -> f64 {
     let n = points.len();
-    let nearest = |p: usize| {
-        let mut best = 0usize;
-        let mut best_d = f32::INFINITY;
-        for (c, &m) in medoids.iter().enumerate() {
-            let d = points.dist(p, m);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        (best, best_d)
+    let k = medoids.len();
+    let n_strips = n.div_ceil(ASSIGN_BLOCK);
+    let strip = |s: usize, scratch: &mut Vec<f32>| -> Vec<(usize, f32)> {
+        let lo = s * ASSIGN_BLOCK;
+        let hi = (lo + ASSIGN_BLOCK).min(n);
+        scratch.clear();
+        scratch.resize((hi - lo) * k, 0.0);
+        points.dist_block(&ids[lo..hi], medoids, scratch);
+        (0..hi - lo)
+            .map(|r| {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (c, &d) in scratch[r * k..(r + 1) * k].iter().enumerate() {
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                (best, best_d)
+            })
+            .collect()
     };
     let mut cost = 0.0f64;
-    if rayon::current_num_threads() > 1 && n.saturating_mul(medoids.len()) >= PAR_MIN_DIST_EVALS {
-        let results = rayon::par_map(n, nearest);
-        for (slot, (best, best_d)) in out.iter_mut().zip(results) {
-            *slot = best;
+    let mut slots = out.iter_mut();
+    if rayon::current_num_threads() > 1 && n.saturating_mul(k) >= PAR_MIN_DIST_EVALS {
+        let results = rayon::par_map(n_strips, |s| strip(s, &mut Vec::new()));
+        for (best, best_d) in results.into_iter().flatten() {
+            *slots.next().expect("strip covers each point once") = best;
             cost += best_d as f64;
         }
     } else {
-        for (p, slot) in out.iter_mut().enumerate().take(n) {
-            let (best, best_d) = nearest(p);
-            *slot = best;
-            cost += best_d as f64;
+        let mut scratch = Vec::new();
+        for s in 0..n_strips {
+            for (best, best_d) in strip(s, &mut scratch) {
+                *slots.next().expect("strip covers each point once") = best;
+                cost += best_d as f64;
+            }
         }
     }
     cost
@@ -343,6 +409,53 @@ mod tests {
         let km = KMedoids::fit(&d, 2, 1);
         assert_eq!(km.k(), 2);
         assert!(km.cost.abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_assign_matches_per_pair_oracle_bitwise() {
+        // The strip/dist_block restructuring must not change a single bit:
+        // compare against the historical one-dist-per-pair scan on a point
+        // count that straddles ASSIGN_BLOCK (67 = 64 + 3 ragged rows).
+        let mut state = 0x0A551u64;
+        let pts: Vec<Vec<f32>> = (0..67)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..21)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 - 0.5
+                    })
+                    .collect();
+                let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+                v.iter_mut().for_each(|x| *x /= norm);
+                v
+            })
+            .collect();
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let cp = CosinePoints::new(refs);
+        let n = cp.len();
+        let medoids = vec![3usize, 17, 40, 41, 66];
+        let ids: Vec<usize> = (0..n).collect();
+        let mut got = vec![0usize; n];
+        let got_cost = assign(&cp, &medoids, &ids, &mut got);
+        let mut want = vec![0usize; n];
+        let mut want_cost = 0.0f64;
+        for (p, slot) in want.iter_mut().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = cp.dist(p, m);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            *slot = best;
+            want_cost += best_d as f64;
+        }
+        assert_eq!(got, want);
+        assert_eq!(got_cost.to_bits(), want_cost.to_bits());
     }
 
     #[test]

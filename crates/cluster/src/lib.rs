@@ -27,6 +27,6 @@ pub mod kmedoids;
 pub mod partition;
 
 pub use agglomerative::{Dendrogram, Merge};
-pub use distance::{CosinePoints, PairwiseDistance};
+pub use distance::{CondensedMatrix, CosinePoints, PairwiseDistance};
 pub use kmedoids::KMedoids;
-pub use partition::partition_indices;
+pub use partition::{auto_partition_k, knee_of, partition_indices, ShardSpectrum};

@@ -1,0 +1,200 @@
+//! Tiled gram (pairwise dot-product) kernels.
+//!
+//! The construction front-end evaluates *blocks* of inner products — every
+//! tag against every tag for the pairwise-distance store, every point
+//! against every medoid for k-medoids assignment. Evaluating them one
+//! [`dot`] at a time re-loads both operand vectors from memory per pair;
+//! at lake scale (50k attributes) the operands no longer fit in cache and
+//! the kernel becomes memory-bound.
+//!
+//! [`gram_into`] instead walks the output in `GRAM_TILE_ROWS ×
+//! GRAM_TILE_COLS` micro-tiles: one pass over the shared dimension per
+//! tile, with each of the tile's row chunks loaded once and reused against
+//! every column chunk (and vice versa), cutting operand traffic by
+//! `~2·R·C/(R+C)` versus the one-pair-at-a-time loop.
+//!
+//! **Bit-identity contract.** Every output element is produced by exactly
+//! the [`dot`] reduction: eight independent accumulator lanes filled in
+//! ascending chunk order, the fixed balanced-tree lane reduction
+//! `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))`, and the scalar tail added
+//! last. Tiling only interleaves *independent* per-element accumulators —
+//! it never reassociates a single element's sum — so
+//! `gram_into(rows, cols, out)` satisfies
+//! `out[r·C + c].to_bits() == dot(rows[r], cols[c]).to_bits()` for every
+//! shape, including ragged edges where the row/column counts or the
+//! dimension are not multiples of the tile size. Property-tested against
+//! [`dot_scalar_ref`].
+//!
+//! [`dot`]: crate::vector::dot
+//! [`dot_scalar_ref`]: crate::vector::dot_scalar_ref
+
+use crate::vector::dot;
+
+/// Rows per micro-tile of [`gram_into`].
+pub const GRAM_TILE_ROWS: usize = 4;
+/// Columns per micro-tile of [`gram_into`].
+pub const GRAM_TILE_COLS: usize = 4;
+
+/// One full `R × C` micro-tile: a single pass over the shared dimension,
+/// maintaining an independent 8-lane accumulator group per output element
+/// so each element reproduces the [`dot`] reduction bit-for-bit.
+#[inline]
+fn gram_tile<const R: usize, const C: usize>(
+    rows: &[&[f32]],
+    cols: &[&[f32]],
+    out: &mut [f32],
+    out_stride: usize,
+) {
+    let d = rows[0].len();
+    let chunks = d / 8 * 8;
+    let mut acc = [[[0.0f32; 8]; C]; R];
+    let mut i = 0;
+    while i < chunks {
+        for (r, row) in rows.iter().enumerate().take(R) {
+            let a = &row[i..i + 8];
+            for (c, col) in cols.iter().enumerate().take(C) {
+                let b = &col[i..i + 8];
+                let lanes = &mut acc[r][c];
+                for k in 0..8 {
+                    lanes[k] += a[k] * b[k];
+                }
+            }
+        }
+        i += 8;
+    }
+    for (r, row) in rows.iter().enumerate().take(R) {
+        for (c, col) in cols.iter().enumerate().take(C) {
+            let mut tail = 0.0f32;
+            for j in chunks..d {
+                tail += row[j] * col[j];
+            }
+            let l = &acc[r][c];
+            out[r * out_stride + c] =
+                (((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))) + tail;
+        }
+    }
+}
+
+/// Write the `rows.len() × cols.len()` gram block
+/// `out[r * cols.len() + c] = dot(rows[r], cols[c])` (row-major), walking
+/// full [`GRAM_TILE_ROWS`]`×`[`GRAM_TILE_COLS`] micro-tiles and finishing
+/// ragged edges with plain [`dot`] calls — every element is bit-identical
+/// to `dot(rows[r], cols[c])` either way.
+///
+/// # Panics
+/// Panics in debug builds when `out.len() != rows.len() * cols.len()` or
+/// the vectors disagree on dimensionality.
+pub fn gram_into(rows: &[&[f32]], cols: &[&[f32]], out: &mut [f32]) {
+    let (nr, nc) = (rows.len(), cols.len());
+    debug_assert_eq!(out.len(), nr * nc, "gram_into: output shape mismatch");
+    if nr == 0 || nc == 0 {
+        return;
+    }
+    #[cfg(debug_assertions)]
+    {
+        let d = rows[0].len();
+        debug_assert!(rows.iter().chain(cols).all(|v| v.len() == d));
+    }
+    let full_r = nr / GRAM_TILE_ROWS * GRAM_TILE_ROWS;
+    let full_c = nc / GRAM_TILE_COLS * GRAM_TILE_COLS;
+    let mut r = 0;
+    while r < full_r {
+        let rb = &rows[r..r + GRAM_TILE_ROWS];
+        let mut c = 0;
+        while c < full_c {
+            gram_tile::<GRAM_TILE_ROWS, GRAM_TILE_COLS>(
+                rb,
+                &cols[c..c + GRAM_TILE_COLS],
+                &mut out[r * nc + c..],
+                nc,
+            );
+            c += GRAM_TILE_COLS;
+        }
+        // Ragged column edge of this row band.
+        for rr in r..r + GRAM_TILE_ROWS {
+            for cc in full_c..nc {
+                out[rr * nc + cc] = dot(rows[rr], cols[cc]);
+            }
+        }
+        r += GRAM_TILE_ROWS;
+    }
+    // Ragged row edge (all columns).
+    for rr in full_r..nr {
+        for cc in 0..nc {
+            out[rr * nc + cc] = dot(rows[rr], cols[cc]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot_scalar_ref;
+
+    fn vecs(n: usize, d: usize, salt: u64) -> Vec<Vec<f32>> {
+        let mut state = salt | 1;
+        (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 - 0.5
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gram_matches_scalar_reference_bitwise_on_ragged_shapes() {
+        // Satellite contract: tiled gram kernel bit-identity vs
+        // dot_scalar_ref on ragged tile edges — every (n_rows, n_cols, d)
+        // where neither the tile size (4) nor the lane width (8) divides
+        // the shape.
+        for &(nr, nc) in &[(1usize, 1usize), (3, 5), (4, 4), (5, 9), (8, 3), (9, 13)] {
+            for &d in &[0usize, 1, 7, 8, 9, 16, 23, 50, 64, 100] {
+                let rs = vecs(nr, d, 0xA11CE ^ (nr as u64) << 8 ^ d as u64);
+                let cs = vecs(nc, d, 0xB0B ^ (nc as u64) << 8 ^ d as u64);
+                let rrefs: Vec<&[f32]> = rs.iter().map(|v| v.as_slice()).collect();
+                let crefs: Vec<&[f32]> = cs.iter().map(|v| v.as_slice()).collect();
+                let mut out = vec![f32::NAN; nr * nc];
+                gram_into(&rrefs, &crefs, &mut out);
+                for r in 0..nr {
+                    for c in 0..nc {
+                        assert_eq!(
+                            out[r * nc + c].to_bits(),
+                            dot_scalar_ref(&rs[r], &cs[c]).to_bits(),
+                            "tile kernel diverged at ({r}, {c}) of {nr}x{nc}, d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_empty_sides_are_noops() {
+        let a = [1.0f32, 2.0];
+        let mut out: Vec<f32> = Vec::new();
+        gram_into(&[], &[&a], &mut out);
+        gram_into(&[&a], &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gram_matches_unrolled_dot_bitwise() {
+        let rs = vecs(7, 33, 0x5EED);
+        let cs = vecs(6, 33, 0xFACE);
+        let rrefs: Vec<&[f32]> = rs.iter().map(|v| v.as_slice()).collect();
+        let crefs: Vec<&[f32]> = cs.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0.0f32; 42];
+        gram_into(&rrefs, &crefs, &mut out);
+        for r in 0..7 {
+            for c in 0..6 {
+                assert_eq!(out[r * 6 + c].to_bits(), dot(&rs[r], &cs[c]).to_bits());
+            }
+        }
+    }
+}

@@ -32,11 +32,13 @@
 // outside tests; fallible paths return `DlnError`.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod gram;
 pub mod model;
 pub mod tokenize;
 pub mod vector;
 pub mod vocab;
 
+pub use gram::{gram_into, GRAM_TILE_COLS, GRAM_TILE_ROWS};
 pub use model::{
     EmbeddingModel, SyntheticEmbedding, SyntheticEmbeddingConfig, VecFileModel, VecLoadReport,
 };

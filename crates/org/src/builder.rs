@@ -122,10 +122,12 @@ impl<'a> OrganizerBuilder<'a> {
     }
 
     /// Sharded construction ([`crate::shard`], DESIGN.md §5e): the group's
-    /// tags are split into [`SearchConfig::shards`] embedding clusters,
-    /// each shard is optimized in parallel, and the shard roots are
-    /// stitched under a router state. With `shards = 1` (the default
-    /// unless `DLN_SHARDS` says otherwise) this is
+    /// tags are split into [`SearchConfig::shards`] embedding clusters —
+    /// a fixed count, or the knee of the tag-similarity cost spectrum
+    /// under `ShardPolicy::Auto` (`DLN_SHARDS=auto`) — each shard is
+    /// optimized in parallel, and the shard roots are stitched under a
+    /// router state. With `Fixed(1)` (the default unless `DLN_SHARDS`
+    /// says otherwise) this is
     /// [`build_optimized`](Self::build_optimized), bit for bit.
     pub fn build_sharded(&self) -> crate::shard::ShardedBuild {
         match &self.group {

@@ -78,6 +78,8 @@ pub use init::{bisecting_org, clustering_org, flat_org, random_org};
 pub use multidim::{MultiDimConfig, MultiDimOrganization};
 pub use navigate::{transition_probs_from, transition_probs_from_mat, Navigator};
 pub use ops::{OpKind, OpOutcome};
-pub use search::{IterStats, SearchConfig, SearchStats, StopReason};
-pub use shard::{build_sharded, build_sharded_group, derive_shard_seed, ShardedBuild};
+pub use search::{IterStats, SearchConfig, SearchStats, ShardPolicy, StopReason};
+pub use shard::{
+    build_sharded, build_sharded_group, derive_shard_seed, ShardedBuild, AUTO_SHARD_MAX,
+};
 pub use success::{success_curve, SuccessCurve};

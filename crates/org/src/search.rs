@@ -110,15 +110,58 @@ pub struct SearchConfig {
     /// environment variables, else off. Write failures degrade to a
     /// warning — a failed checkpoint never aborts the search.
     pub checkpoint: Option<CheckpointConfig>,
-    /// Shard count for sharded construction ([`crate::shard`]): the
-    /// dimension's tags are partitioned into this many embedding clusters,
-    /// each shard is optimized independently (in parallel), and the shard
-    /// roots are stitched under a top-level router state. `1` is the
-    /// ordinary single-organization path, reproduced bit-for-bit. Defaults
-    /// to the `DLN_SHARDS` environment variable, else 1. Excluded from the
-    /// checkpoint fingerprint: the knob routes construction *around*
-    /// [`optimize`], which each shard still enters with `shards = 1`.
-    pub shards: usize,
+    /// Shard policy for sharded construction ([`crate::shard`]): how many
+    /// embedding clusters the dimension's tags are partitioned into, each
+    /// shard optimized independently (in parallel) and the shard roots
+    /// stitched under a top-level router state.
+    /// [`ShardPolicy::Fixed`]`(1)` is the ordinary single-organization
+    /// path, reproduced bit-for-bit; [`ShardPolicy::Auto`] picks the count
+    /// from the knee of the tag-similarity k-medoids cost curve
+    /// (`dln_cluster::auto_partition_k`). Defaults to the `DLN_SHARDS`
+    /// environment variable (`auto` or an integer ≥ 1), else `Fixed(1)`.
+    /// Excluded from the checkpoint fingerprint: the knob routes
+    /// construction *around* [`optimize`], which each shard still enters
+    /// with `Fixed(1)`.
+    pub shards: ShardPolicy,
+}
+
+/// How sharded construction ([`crate::shard`]) chooses its shard count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Exactly this many shards (clamped to the dimension's tag count;
+    /// `1` means unsharded).
+    Fixed(usize),
+    /// Data-driven: sweep the k-medoids cost spectrum over the dimension's
+    /// tags and split at its knee — more shards for lakes whose tag space
+    /// genuinely decomposes, none for tight single-topic dimensions.
+    Auto,
+}
+
+impl Default for ShardPolicy {
+    /// `Fixed(1)` — the unsharded path, bit-identical to the classic
+    /// single-organization build.
+    fn default() -> Self {
+        ShardPolicy::Fixed(1)
+    }
+}
+
+impl ShardPolicy {
+    /// The fixed count, if this policy is [`ShardPolicy::Fixed`].
+    pub fn fixed(self) -> Option<usize> {
+        match self {
+            ShardPolicy::Fixed(k) => Some(k),
+            ShardPolicy::Auto => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPolicy::Fixed(k) => write!(f, "{k}"),
+            ShardPolicy::Auto => write!(f, "auto"),
+        }
+    }
 }
 
 impl Default for SearchConfig {
@@ -139,14 +182,22 @@ impl Default for SearchConfig {
     }
 }
 
-/// The `DLN_SHARDS` environment override for [`SearchConfig::shards`]
-/// (ignored unless it parses to ≥ 1).
-fn shards_from_env() -> usize {
-    std::env::var("DLN_SHARDS")
+/// The `DLN_SHARDS` environment override for [`SearchConfig::shards`]:
+/// `auto` (case-insensitive) selects [`ShardPolicy::Auto`], an integer ≥ 1
+/// selects [`ShardPolicy::Fixed`]; anything else falls back to `Fixed(1)`.
+fn shards_from_env() -> ShardPolicy {
+    let Ok(raw) = std::env::var("DLN_SHARDS") else {
+        return ShardPolicy::Fixed(1);
+    };
+    let raw = raw.trim();
+    if raw.eq_ignore_ascii_case("auto") {
+        return ShardPolicy::Auto;
+    }
+    raw.parse::<usize>()
         .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&s| s >= 1)
-        .unwrap_or(1)
+        .map(ShardPolicy::Fixed)
+        .unwrap_or(ShardPolicy::Fixed(1))
 }
 
 /// The `DLN_BATCH` environment override for [`SearchConfig::batch_size`]

@@ -28,9 +28,14 @@
 //!
 //! Determinism contract:
 //!
-//! * `shards = 1` (or a partition that collapses to one cluster) is the
-//!   ordinary [`clustering_org`](init::clustering_org) +
+//! * `ShardPolicy::Fixed(1)` (or a partition that collapses to one
+//!   cluster) is the ordinary [`clustering_org`](init::clustering_org) +
 //!   [`optimize`](search::optimize) path, reproduced **bit-for-bit**.
+//! * `ShardPolicy::Auto` resolves the count from the knee of the
+//!   k-medoids cost spectrum over the dimension's tag topics
+//!   ([`auto_partition_k`], seeded from the same derived partition seed),
+//!   so the decision is deterministic in `(lake, group, cfg.seed)` and
+//!   invariant to the worker count like everything else.
 //! * For any shard count, every shard's walk is seeded by
 //!   [`derive_shard_seed`] — a splitmix64 substream of the configured
 //!   seed indexed by shard position — so the stitched result is a pure
@@ -42,7 +47,7 @@
 //! See DESIGN.md §5e for the partitioning rationale, the router
 //! reachability model, and the full determinism argument.
 
-use dln_cluster::{partition_indices, CosinePoints};
+use dln_cluster::{auto_partition_k, partition_indices, CosinePoints, ShardSpectrum};
 use dln_embed::dot;
 use dln_lake::{DataLake, TagId};
 
@@ -51,7 +56,22 @@ use crate::builder::BuiltOrganization;
 use crate::ctx::OrgContext;
 use crate::graph::{Organization, StateId};
 use crate::init;
-use crate::search::{self, SearchConfig, SearchStats};
+use crate::search::{self, SearchConfig, SearchStats, ShardPolicy};
+
+/// Largest shard count [`ShardPolicy::Auto`] will consider — the top of the
+/// `auto_partition_k` candidate ladder (further clamped to the dimension's
+/// tag count).
+///
+/// Sharding trades stitched effectiveness for construction speed: every
+/// extra shard boundary loses cross-shard structure, and at the fixed-4
+/// operating point the loss is already ~5% on the bench lake
+/// (BENCH_shard.json). `Auto` exists to shard *less* than the fixed
+/// default when the tag spectrum doesn't justify it — never more — so its
+/// candidate ladder stops at the fixed-4 baseline. That makes the policy's
+/// guarantee structural: the knee is always ≤ 4, and the auto build can
+/// only recover effectiveness relative to fixed-4, not fall below it by
+/// oversharding a spectrum whose elbow sits further out.
+pub const AUTO_SHARD_MAX: usize = 4;
 
 /// A stitched, sharded organization over one tag group.
 pub struct ShardedBuild {
@@ -71,6 +91,10 @@ pub struct ShardedBuild {
     /// router through the routing tier; for singleton shards this is the
     /// tag state itself).
     pub shard_roots: Vec<StateId>,
+    /// The k-medoids cost spectrum behind a [`ShardPolicy::Auto`] decision
+    /// (`None` under a fixed policy) — kept so benches and logs can show
+    /// *why* the count was picked.
+    pub shard_spectrum: Option<ShardSpectrum>,
 }
 
 impl ShardedBuild {
@@ -138,7 +162,7 @@ enum ShardOutput {
 }
 
 /// Sharded construction over *all* tags of the lake (a 1-dimensional
-/// organization). `cfg.shards` controls the split; `1` reproduces
+/// organization). `cfg.shards` controls the split; `Fixed(1)` reproduces
 /// [`crate::builder::OrganizerBuilder::build_optimized`] bit-for-bit.
 pub fn build_sharded(lake: &DataLake, cfg: &SearchConfig) -> ShardedBuild {
     let group: Vec<TagId> = lake.tag_ids().collect();
@@ -147,17 +171,38 @@ pub fn build_sharded(lake: &DataLake, cfg: &SearchConfig) -> ShardedBuild {
 
 /// Sharded construction over one tag group (one dimension of a §2.5
 /// multi-dimensional organization).
+///
+/// The shard count comes from [`SearchConfig::shards`]: a fixed count is
+/// clamped to the tag count; [`ShardPolicy::Auto`] sweeps the k-medoids
+/// cost spectrum over the group's tag topics (candidates up to
+/// [`AUTO_SHARD_MAX`], same derived seed as the partition itself) and
+/// splits at its knee — including deciding *not* to split when the curve
+/// says the tags don't decompose. The spectrum is kept on the result.
 pub fn build_sharded_group(lake: &DataLake, group: &[TagId], cfg: &SearchConfig) -> ShardedBuild {
     let ctx = OrgContext::for_tag_group(lake, group);
-    let k = cfg.shards.max(1).min(ctx.n_tags().max(1));
+    let n_tags = ctx.n_tags();
+    if n_tags <= 1 || cfg.shards == ShardPolicy::Fixed(1) || cfg.shards == ShardPolicy::Fixed(0) {
+        return build_unsharded(ctx, cfg, None);
+    }
+    let points = CosinePoints::new(ctx.tags().iter().map(|t| t.unit_topic.as_slice()).collect());
+    let (k, spectrum) = match cfg.shards {
+        ShardPolicy::Fixed(k) => (k.min(n_tags), None),
+        ShardPolicy::Auto => {
+            let spec = auto_partition_k(
+                &points,
+                AUTO_SHARD_MAX.min(n_tags),
+                partition_seed(cfg.seed),
+            );
+            (spec.knee, Some(spec))
+        }
+    };
     if k <= 1 {
-        return build_unsharded(ctx, cfg);
+        return build_unsharded(ctx, cfg, spectrum);
     }
     // Partition the group's tags by embedding cluster.
-    let points = CosinePoints::new(ctx.tags().iter().map(|t| t.unit_topic.as_slice()).collect());
     let groups = partition_indices(&points, k, partition_seed(cfg.seed));
     if groups.len() <= 1 {
-        return build_unsharded(ctx, cfg);
+        return build_unsharded(ctx, cfg, spectrum);
     }
     let shard_tags: Vec<Vec<TagId>> = groups
         .iter()
@@ -220,13 +265,19 @@ pub fn build_sharded_group(lake: &DataLake, group: &[TagId], cfg: &SearchConfig)
         shard_tags,
         shard_stats,
         shard_roots,
+        shard_spectrum: spectrum,
     }
 }
 
-/// The `shards = 1` path: exactly [`init::clustering_org`] +
+/// The single-shard path: exactly [`init::clustering_org`] +
 /// [`search::optimize`] over the full group context, bit-for-bit (the
-/// `shards` knob itself is invisible to the walk).
-fn build_unsharded(ctx: OrgContext, cfg: &SearchConfig) -> ShardedBuild {
+/// `shards` knob itself is invisible to the walk). `spectrum` carries the
+/// cost curve when an [`ShardPolicy::Auto`] sweep concluded "don't split".
+fn build_unsharded(
+    ctx: OrgContext,
+    cfg: &SearchConfig,
+    spectrum: Option<ShardSpectrum>,
+) -> ShardedBuild {
     let mut organization = init::clustering_org(&ctx);
     let stats = search::optimize(&ctx, &mut organization, cfg);
     let root = organization.root();
@@ -241,6 +292,7 @@ fn build_unsharded(ctx: OrgContext, cfg: &SearchConfig) -> ShardedBuild {
         shard_tags: vec![all_tags],
         shard_stats: vec![Some(stats)],
         shard_roots: vec![root],
+        shard_spectrum: spectrum,
     }
 }
 
@@ -256,7 +308,7 @@ fn build_one_shard(
 ) -> ShardOutput {
     let shard_cfg = SearchConfig {
         seed: derive_shard_seed(cfg.seed, i),
-        shards: 1,
+        shards: ShardPolicy::Fixed(1),
         checkpoint: None,
         ..cfg.clone()
     };
@@ -378,6 +430,10 @@ mod tests {
     use dln_synth::TagCloudConfig;
 
     fn cfg(shards: usize, max_iters: usize) -> SearchConfig {
+        policy_cfg(ShardPolicy::Fixed(shards), max_iters)
+    }
+
+    fn policy_cfg(shards: ShardPolicy, max_iters: usize) -> SearchConfig {
         SearchConfig {
             shards,
             max_iters,
@@ -504,6 +560,56 @@ mod tests {
         // Shard metadata is consistent.
         assert_eq!(sharded.shard_stats.len(), sharded.n_shards());
         assert_eq!(sharded.shard_roots.len(), sharded.n_shards());
+    }
+
+    #[test]
+    fn auto_policy_resolves_to_spectrum_knee_and_stays_deterministic() {
+        let bench = TagCloudConfig::small().generate();
+        let c = policy_cfg(ShardPolicy::Auto, 100);
+        let a = build_sharded(&bench.lake, &c);
+        let spec = a.shard_spectrum.as_ref().expect("auto keeps its spectrum");
+        assert_eq!(spec.candidates[0], 1);
+        assert!(spec.knee >= 1 && spec.knee <= AUTO_SHARD_MAX);
+        // The realized shard count matches the knee unless the partition
+        // collapsed below it.
+        assert!(a.n_shards() <= spec.knee.max(1));
+        // Deterministic, and invariant to the worker count.
+        for threads in [1usize, 4] {
+            rayon::set_num_threads(threads);
+            let again = build_sharded(&bench.lake, &c);
+            rayon::set_num_threads(0);
+            assert_eq!(
+                again.built.organization.fingerprint(),
+                a.built.organization.fingerprint(),
+                "auto policy diverged at {threads} threads"
+            );
+            assert_eq!(
+                again.shard_spectrum.as_ref().unwrap().knee,
+                spec.knee,
+                "knee diverged at {threads} threads"
+            );
+        }
+        // A fixed policy never records a spectrum.
+        assert!(build_sharded(&bench.lake, &cfg(2, 60))
+            .shard_spectrum
+            .is_none());
+    }
+
+    #[test]
+    fn auto_policy_never_loses_to_fixed_four_on_bench_lake() {
+        // Acceptance criterion: on the bench lake family, the data-driven
+        // count must match or beat the historical fixed-4 default (which
+        // BENCH_shard.json showed costing 5.4% effectiveness).
+        let bench = TagCloudConfig::small().generate();
+        let auto = build_sharded(&bench.lake, &policy_cfg(ShardPolicy::Auto, 120));
+        let fixed4 = build_sharded(&bench.lake, &cfg(4, 120));
+        let (ea, e4) = (auto.effectiveness(), fixed4.effectiveness());
+        assert!(
+            ea >= e4 - 1e-9,
+            "auto ({} shards, eff {ea}) fell below fixed-4 (eff {e4}); spectrum {:?}",
+            auto.n_shards(),
+            auto.shard_spectrum
+        );
     }
 
     #[test]

@@ -816,7 +816,7 @@ mod tests {
         let sharded = dln_org::build_sharded(
             &bench.lake,
             &dln_org::SearchConfig {
-                shards: 4,
+                shards: dln_org::ShardPolicy::Fixed(4),
                 max_iters: 80,
                 deadline: None,
                 checkpoint: None,

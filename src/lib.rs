@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::lake::{AttrId, Attribute, DataLake, LakeBuilder, Table, TableId, Tag, TagId};
     pub use crate::org::{
         clustering_org, flat_org, BuiltOrganization, MultiDimConfig, MultiDimOrganization,
-        NavConfig, Navigator, Organization, OrganizerBuilder, SearchConfig,
+        NavConfig, Navigator, Organization, OrganizerBuilder, SearchConfig, ShardPolicy,
     };
     pub use crate::search::{KeywordSearch, SearchHit};
     pub use crate::serve::{

@@ -15,7 +15,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
-use datalake_nav::org::search::{optimize, optimize_reference, resume, SearchConfig, StopReason};
+use datalake_nav::org::search::{
+    optimize, optimize_reference, resume, SearchConfig, ShardPolicy, StopReason,
+};
 use datalake_nav::org::{
     build_sharded, clustering_org, ops, random_org, Checkpoint, CheckpointConfig, Evaluator,
     NavConfig, OrgContext, Organization, OrganizerBuilder, Representatives,
@@ -376,7 +378,7 @@ fn sharded_one_shard_is_bit_identical_across_seeds() {
         .generate();
         let cfg = SearchConfig {
             max_iters: 60,
-            shards: 1,
+            shards: ShardPolicy::Fixed(1),
             seed: rng.random::<u64>(),
             deadline: None,
             checkpoint: None,
@@ -414,7 +416,7 @@ fn stitched_org_incremental_evaluator_matches_fresh_at_any_thread_count() {
         .generate();
         let cfg = SearchConfig {
             max_iters: 40,
-            shards: rng.random_range(2..5u32) as usize,
+            shards: ShardPolicy::Fixed(rng.random_range(2..5u32) as usize),
             seed: rng.random::<u64>(),
             deadline: None,
             checkpoint: None,
