@@ -25,6 +25,17 @@
 //! dimension are not multiples of the tile size. Property-tested against
 //! [`dot_scalar_ref`].
 //!
+//! **SIMD widening.** On `x86_64` hosts with AVX2 the micro-tile's eight
+//! accumulator lanes are held in one `__m256` register per output element
+//! (runtime-detected; `DLN_SIMD=0` forces the scalar path). The vector
+//! body performs *exactly* the scalar recurrence — `_mm256_mul_ps`
+//! followed by `_mm256_add_ps` per chunk, then the same balanced-tree
+//! lane reduction in scalar code — so the bit-identity contract holds on
+//! both paths and the property tests serve as the gating oracle. True
+//! fused multiply-add (`vfmadd*`) is deliberately **not** used: FMA skips
+//! the intermediate rounding of the product, which changes low-order bits
+//! and would silently fork the scalar and vector results.
+//!
 //! [`dot`]: crate::vector::dot
 //! [`dot_scalar_ref`]: crate::vector::dot_scalar_ref
 
@@ -75,6 +86,88 @@ fn gram_tile<const R: usize, const C: usize>(
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 micro-tile: one 8-lane register per output element, same
+    //! recurrence and reduction as the scalar tile (see the module docs
+    //! for why FMA is excluded).
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+
+    /// # Safety
+    /// Caller must have verified AVX2 support at runtime, and every row /
+    /// column slice must hold at least `rows[0].len()` elements.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gram_tile<const R: usize, const C: usize>(
+        rows: &[&[f32]],
+        cols: &[&[f32]],
+        out: &mut [f32],
+        out_stride: usize,
+    ) {
+        let d = rows[0].len();
+        let chunks = d / 8 * 8;
+        let mut acc = [[_mm256_setzero_ps(); C]; R];
+        let mut i = 0;
+        while i < chunks {
+            let mut av: [__m256; R] = [_mm256_setzero_ps(); R];
+            for (r, row) in rows.iter().enumerate().take(R) {
+                av[r] = _mm256_loadu_ps(row.as_ptr().add(i));
+            }
+            for (c, col) in cols.iter().enumerate().take(C) {
+                let bv = _mm256_loadu_ps(col.as_ptr().add(i));
+                for (r, &a) in av.iter().enumerate().take(R) {
+                    // mul then add — NOT vfmadd: fusing would skip the
+                    // product rounding and break bit-identity with `dot`.
+                    acc[r][c] = _mm256_add_ps(acc[r][c], _mm256_mul_ps(a, bv));
+                }
+            }
+            i += 8;
+        }
+        for (r, row) in rows.iter().enumerate().take(R) {
+            for (c, col) in cols.iter().enumerate().take(C) {
+                let mut l = [0.0f32; 8];
+                _mm256_storeu_ps(l.as_mut_ptr(), acc[r][c]);
+                let mut tail = 0.0f32;
+                for j in chunks..d {
+                    tail += row[j] * col[j];
+                }
+                out[r * out_stride + c] =
+                    (((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))) + tail;
+            }
+        }
+    }
+}
+
+/// Is the AVX2 tile usable on this host? Runtime-detected once;
+/// `DLN_SIMD=0` forces the scalar path (useful for A/B-ing the oracle).
+#[cfg(target_arch = "x86_64")]
+fn use_avx2() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        !std::env::var("DLN_SIMD").is_ok_and(|v| v.trim() == "0")
+            && std::arch::is_x86_feature_detected!("avx2")
+    })
+}
+
+/// Run one micro-tile on the widest bit-identical kernel available.
+#[inline]
+fn gram_tile_dispatch<const R: usize, const C: usize>(
+    rows: &[&[f32]],
+    cols: &[&[f32]],
+    out: &mut [f32],
+    out_stride: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 presence checked above; slice lengths validated by
+        // the gram_into debug asserts and the tile loop bounds.
+        unsafe { avx2::gram_tile::<R, C>(rows, cols, out, out_stride) };
+        return;
+    }
+    gram_tile::<R, C>(rows, cols, out, out_stride)
+}
+
 /// Write the `rows.len() × cols.len()` gram block
 /// `out[r * cols.len() + c] = dot(rows[r], cols[c])` (row-major), walking
 /// full [`GRAM_TILE_ROWS`]`×`[`GRAM_TILE_COLS`] micro-tiles and finishing
@@ -102,7 +195,7 @@ pub fn gram_into(rows: &[&[f32]], cols: &[&[f32]], out: &mut [f32]) {
         let rb = &rows[r..r + GRAM_TILE_ROWS];
         let mut c = 0;
         while c < full_c {
-            gram_tile::<GRAM_TILE_ROWS, GRAM_TILE_COLS>(
+            gram_tile_dispatch::<GRAM_TILE_ROWS, GRAM_TILE_COLS>(
                 rb,
                 &cols[c..c + GRAM_TILE_COLS],
                 &mut out[r * nc + c..],
@@ -170,6 +263,46 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_tile_is_bit_identical_to_scalar_tile() {
+        // The gating oracle for the SIMD path, run directly against the
+        // scalar tile (not through dispatch) so it checks the vector
+        // kernel even if this binary's dispatch decided otherwise.
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // scalar fallback host: nothing to gate
+        }
+        for &d in &[0usize, 7, 8, 9, 31, 32, 64, 100, 129] {
+            let rs = vecs(GRAM_TILE_ROWS, d, 0xDEAD ^ d as u64);
+            let cs = vecs(GRAM_TILE_COLS, d, 0xBEEF ^ d as u64);
+            let rrefs: Vec<&[f32]> = rs.iter().map(|v| v.as_slice()).collect();
+            let crefs: Vec<&[f32]> = cs.iter().map(|v| v.as_slice()).collect();
+            let mut scalar = vec![f32::NAN; GRAM_TILE_ROWS * GRAM_TILE_COLS];
+            let mut simd = vec![f32::NAN; GRAM_TILE_ROWS * GRAM_TILE_COLS];
+            gram_tile::<GRAM_TILE_ROWS, GRAM_TILE_COLS>(
+                &rrefs,
+                &crefs,
+                &mut scalar,
+                GRAM_TILE_COLS,
+            );
+            unsafe {
+                avx2::gram_tile::<GRAM_TILE_ROWS, GRAM_TILE_COLS>(
+                    &rrefs,
+                    &crefs,
+                    &mut simd,
+                    GRAM_TILE_COLS,
+                )
+            };
+            for (i, (s, v)) in scalar.iter().zip(&simd).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    v.to_bits(),
+                    "AVX2 tile diverged at element {i}, d={d}"
+                );
             }
         }
     }

@@ -137,6 +137,15 @@ impl BitSet {
         }
     }
 
+    /// The raw `u64` blocks, little-bit-endian within each word. Two sets
+    /// of equal capacity are equal exactly when their words are equal —
+    /// the persistent store serializes these words verbatim and the
+    /// serving layer compares tag sets across snapshots word-wise.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Iterate over members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         OnesIter {

@@ -21,8 +21,10 @@
 //! The trailing checksum covers every preceding byte. A torn or partial
 //! write — simulated by the `checkpoint.torn` failpoint, which truncates
 //! the buffer before it reaches the filesystem — fails the checksum on
-//! load and is reported as [`DlnError::Corrupt`]. [`Checkpoint::save`]
-//! rotates the previous file to `<path>.prev` before writing, so
+//! load and is reported as [`DlnError::Corrupt`]. Publication goes
+//! through the shared [`crate::persist`] plumbing: [`Checkpoint::save`]
+//! stages to `<path>.tmp`, fsyncs, rotates the previous file to
+//! `<path>.prev` and renames into place, so
 //! [`Checkpoint::load_with_fallback`] can fall back one generation when
 //! the newest checkpoint is torn.
 //!
@@ -39,6 +41,7 @@ use std::path::{Path, PathBuf};
 use dln_fault::{DlnError, DlnResult};
 
 use crate::ops::OpKind;
+use crate::persist::{self, Reader, Writer};
 use crate::search::IterStats;
 
 /// File magic (8 bytes, includes a format generation byte).
@@ -134,92 +137,15 @@ pub(crate) fn decode_kind(b: u8) -> Option<OpKind> {
     }
 }
 
-/// FNV-1a 64 over a byte slice (the checkpoint checksum).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-/// The `<path>.prev` rotation target for `path`.
-pub(crate) fn prev_path(path: &Path) -> PathBuf {
-    let mut os = path.as_os_str().to_os_string();
-    os.push(".prev");
-    PathBuf::from(os)
-}
-
-struct Writer(Vec<u8>);
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    context: &'a str,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> DlnResult<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
-            return Err(DlnError::corrupt(
-                self.context,
-                format!("truncated at byte {} (wanted {} more)", self.pos, n),
-            ));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-    fn u8(&mut self) -> DlnResult<u8> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> DlnResult<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-    fn u64(&mut self) -> DlnResult<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-    /// A length prefix, sanity-bounded so a corrupt-but-checksummed length
-    /// cannot trigger a giant allocation.
-    fn len(&mut self) -> DlnResult<usize> {
-        let n = self.u64()? as usize;
-        let remaining = self.bytes.len() - self.pos;
-        if n > remaining {
-            return Err(DlnError::corrupt(
-                self.context,
-                format!("implausible length {n} at byte {}", self.pos),
-            ));
-        }
-        Ok(n)
-    }
-}
-
 impl Checkpoint {
     /// Serialize to the checkpoint wire format (checksum included).
     pub(crate) fn encode(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::with_capacity(
+        let mut w = Writer::with_capacity(
             256 + self.op_log.len() * 5
                 + self.iter_stats.len() * 44
                 + self.cursor.levels.len() * 16,
-        ));
-        w.0.extend_from_slice(MAGIC);
+        );
+        w.bytes(MAGIC);
         w.u32(VERSION);
         w.u64(self.config_fingerprint);
         w.u64(self.init_fingerprint);
@@ -271,9 +197,7 @@ impl Checkpoint {
         }
         w.u64(c.idx);
         w.u8(c.proposed_this_sweep as u8);
-        let checksum = fnv1a(&w.0);
-        w.u64(checksum);
-        w.0
+        w.seal()
     }
 
     /// Decode and integrity-check a checkpoint buffer. `context` names the
@@ -288,22 +212,8 @@ impl Checkpoint {
         if &bytes[..MAGIC.len()] != MAGIC {
             return Err(DlnError::corrupt(context, "bad magic"));
         }
-        let (payload, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes([
-            tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
-        ]);
-        let computed = fnv1a(payload);
-        if stored != computed {
-            return Err(DlnError::corrupt(
-                context,
-                format!("checksum mismatch (stored {stored:#x}, computed {computed:#x}) — torn or corrupt write"),
-            ));
-        }
-        let mut r = Reader {
-            bytes: payload,
-            pos: MAGIC.len(),
-            context,
-        };
+        let payload = persist::verify_sealed(bytes, context)?;
+        let mut r = Reader::new(payload, MAGIC.len(), context);
         let version = r.u32()?;
         if version != VERSION {
             return Err(DlnError::corrupt(
@@ -327,7 +237,7 @@ impl Checkpoint {
         let initial_bits = r.u64()?;
         let elapsed_nanos = r.u64()?;
         let best_at_ops = r.u64()?;
-        let n_ops = r.len()?;
+        let n_ops = r.len_prefix()?;
         let mut op_log = Vec::with_capacity(n_ops);
         for _ in 0..n_ops {
             let slot = r.u32()?;
@@ -337,7 +247,7 @@ impl Checkpoint {
             }
             op_log.push((slot, kind));
         }
-        let n_stats = r.len()?;
+        let n_stats = r.len_prefix()?;
         let mut iter_stats = Vec::with_capacity(n_stats);
         for _ in 0..n_stats {
             let op = match r.u8()? {
@@ -363,29 +273,29 @@ impl Checkpoint {
                 attrs_covered,
             });
         }
-        let n_levels = r.len()?;
+        let n_levels = r.len_prefix()?;
         let mut levels = Vec::with_capacity(n_levels);
         for _ in 0..n_levels {
             levels.push(r.u32()?);
         }
-        let n_reach = r.len()?;
+        let n_reach = r.len_prefix()?;
         let mut reach_sweep = Vec::with_capacity(n_reach);
         for _ in 0..n_reach {
             reach_sweep.push(f64::from_bits(r.u64()?));
         }
         let max_level = r.u32()?;
         let level = r.u32()?;
-        let n_at = r.len()?;
+        let n_at = r.len_prefix()?;
         let mut at_level = Vec::with_capacity(n_at);
         for _ in 0..n_at {
             at_level.push(r.u32()?);
         }
         let idx = r.u64()?;
         let proposed_this_sweep = r.u8()? != 0;
-        if r.pos != payload.len() {
+        if r.pos() != payload.len() {
             return Err(DlnError::corrupt(
                 context,
-                format!("{} trailing bytes", payload.len() - r.pos),
+                format!("{} trailing bytes", payload.len() - r.pos()),
             ));
         }
         Ok(Checkpoint {
@@ -416,8 +326,9 @@ impl Checkpoint {
         })
     }
 
-    /// Write the checkpoint to `path`, rotating an existing file to
-    /// `<path>.prev` first (the one-generation fallback for torn writes).
+    /// Write the checkpoint to `path` via the shared atomic-publish
+    /// protocol ([`persist::atomic_write`]): staged at `<path>.tmp`,
+    /// fsynced, the previous generation rotated to `<path>.prev`.
     ///
     /// Fault-injection site `checkpoint.torn`: when it fires, the encoded
     /// buffer is truncated before hitting the filesystem — the resulting
@@ -433,12 +344,7 @@ impl Checkpoint {
             );
             buf.truncate(keep);
         }
-        if path.exists() {
-            std::fs::rename(path, prev_path(path))
-                .map_err(|e| DlnError::io(format!("rotating {}", path.display()), e))?;
-        }
-        std::fs::write(path, &buf)
-            .map_err(|e| DlnError::io(format!("writing {}", path.display()), e))
+        persist::atomic_write(path, &buf)
     }
 
     /// Load and integrity-check the checkpoint at `path`.
@@ -453,25 +359,7 @@ impl Checkpoint {
     /// fails its checksum (torn write). Errors only when both generations
     /// are unusable.
     pub fn load_with_fallback(path: &Path) -> DlnResult<Checkpoint> {
-        match Self::load(path) {
-            Ok(c) => Ok(c),
-            Err(primary) => {
-                let prev = prev_path(path);
-                eprintln!(
-                    "warning: checkpoint {} unusable ({primary}); trying {}",
-                    path.display(),
-                    prev.display()
-                );
-                Self::load(&prev).map_err(|fallback| {
-                    DlnError::corrupt(
-                        path.display().to_string(),
-                        format!(
-                            "both generations unusable — newest: {primary}; previous: {fallback}"
-                        ),
-                    )
-                })
-            }
-        }
+        persist::load_with_fallback(path, "checkpoint", Self::load)
     }
 
     /// Proposals made up to this checkpoint.

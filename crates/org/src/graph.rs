@@ -29,7 +29,12 @@ use crate::bitset::BitSet;
 use crate::ctx::OrgContext;
 
 /// Identifier of a state within an [`Organization`] (stable across ops).
+///
+/// `repr(transparent)` over `u32`: a `&[u32]` section of the persistent
+/// store ([`crate::store`]) is reinterpreted as `&[StateId]` without a
+/// copy, which this layout guarantee makes sound.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct StateId(pub u32);
 
 impl StateId {

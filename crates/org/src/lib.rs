@@ -33,8 +33,17 @@
 //!   (§3.4).
 //! * [`search`] — the Metropolis local-search loop (§3.3, Eq 9), with
 //!   deadline-aware, checkpointed execution and bit-identical resume.
+//! * [`persist`] — shared persistence plumbing: FNV-1a checksum framing,
+//!   atomic publish (`<path>.tmp` + fsync + rename) with `.prev`
+//!   rotation, and generation-fallback loading.
 //! * [`checkpoint`] — versioned, checksummed search checkpoints (the
 //!   crash-safety layer; see DESIGN.md §5c).
+//! * [`store`] — the persistent zero-copy organization store: a complete
+//!   serving snapshot in one mmap-friendly file of aligned fixed-width
+//!   sections, opened by reference in milliseconds (DESIGN.md §5g).
+//! * [`view`] — the [`OrgView`] accessor trait served snapshots are read
+//!   through, implemented by both the in-memory structs and the mapped
+//!   store.
 //! * [`multidim`] — k-dimensional organizations (§2.5, Eq 8) with parallel
 //!   per-dimension optimization.
 //! * [`shard`] — sharded single-dimension construction: tags split into
@@ -61,9 +70,12 @@ pub mod init;
 pub mod multidim;
 pub mod navigate;
 pub mod ops;
+pub mod persist;
 pub mod search;
 pub mod shard;
+pub mod store;
 pub mod success;
+pub mod view;
 
 pub use approx::Representatives;
 pub use bitset::BitSet;
@@ -76,10 +88,14 @@ pub use feedback::NavigationLog;
 pub use graph::{Organization, StateId};
 pub use init::{bisecting_org, clustering_org, flat_org, random_org};
 pub use multidim::{MultiDimConfig, MultiDimOrganization};
-pub use navigate::{transition_probs_from, transition_probs_from_mat, Navigator};
+pub use navigate::{
+    transition_probs_from, transition_probs_from_mat, transition_probs_over, Navigator,
+};
 pub use ops::{OpKind, OpOutcome};
 pub use search::{IterStats, SearchConfig, SearchStats, ShardPolicy, StopReason};
 pub use shard::{
     build_sharded, build_sharded_group, derive_shard_seed, ShardedBuild, AUTO_SHARD_MAX,
 };
+pub use store::{open_store, open_store_with_fallback, save_store, MappedSnapshot};
 pub use success::{success_curve, SuccessCurve};
+pub use view::{OrgView, OwnedSnap};

@@ -59,7 +59,24 @@ pub fn transition_probs_from_mat(
     child_mat: &[f32],
     query_unit: &[f32],
 ) -> Vec<(StateId, f64)> {
-    let children = &org.state(state).children;
+    transition_probs_over(&org.state(state).children, nav, child_mat, query_unit)
+}
+
+/// The structure-free core of [`transition_probs_from_mat`]: Eq 1 over an
+/// explicit child list and its row-major `children.len() × dim` unit-topic
+/// matrix. Both the in-memory cached-matrix path and the mapped store path
+/// ([`crate::store::MappedSnapshot`]) funnel here, so a snapshot served
+/// from disk is bit-identical to the one it was saved from.
+///
+/// # Panics
+/// Panics in debug builds when the matrix shape does not match the child
+/// count times the query dimensionality.
+pub fn transition_probs_over(
+    children: &[StateId],
+    nav: NavConfig,
+    child_mat: &[f32],
+    query_unit: &[f32],
+) -> Vec<(StateId, f64)> {
     if children.is_empty() {
         return Vec::new();
     }

@@ -73,7 +73,7 @@ impl Session {
         self.path
             .last()
             .copied()
-            .unwrap_or_else(|| self.snapshot.org().root())
+            .unwrap_or_else(|| self.snapshot.root())
     }
 }
 
@@ -141,7 +141,7 @@ impl SessionRegistry {
         }
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        let root = snapshot.org().root();
+        let root = snapshot.root();
         let session = Session {
             id,
             snapshot,
@@ -323,7 +323,7 @@ mod tests {
         let mut reg = SessionRegistry::new(4, 100);
         let mut ev = Vec::new();
         let a = reg.open(Arc::clone(&snap), 0, 1, &mut ev).unwrap();
-        let root = snap.org().root();
+        let root = snap.root();
         {
             let slot = reg.touch(a, 1, &mut ev).unwrap();
             let mut s = lock(&slot);

@@ -26,13 +26,16 @@
 //! failpoint charges *virtual* milliseconds instead of sleeping, so
 //! deadline behaviour in tests is deterministic and instant.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dln_fault::should_fail_keyed;
+use dln_fault::{should_fail_keyed, DlnResult};
 use dln_lake::TableId;
 use dln_org::eval::NavConfig;
-use dln_org::{BuiltOrganization, NavigationLog, OrgContext, Organization, StateId};
+use dln_org::{
+    BuiltOrganization, MappedSnapshot, NavigationLog, OrgContext, Organization, StateId,
+};
 
 use crate::clock::{Clock, WallClock};
 use crate::error::{ServeError, ServeResult};
@@ -291,8 +294,34 @@ impl NavService {
         cfg: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> NavService {
+        NavService::from_store(SnapshotStore::new(ctx, org, nav), cfg, clock)
+    }
+
+    /// Cold-start a service from a persistent store file (DESIGN.md §5g):
+    /// the snapshot is opened zero-copy (with `.prev` generation
+    /// fallback) and served by reference — no CSV parsing, no embedding,
+    /// no clustering. Wall clock; see [`NavService::open_path_with_clock`]
+    /// for tests.
+    pub fn open_path(path: &Path, cfg: ServeConfig) -> DlnResult<NavService> {
+        NavService::open_path_with_clock(path, cfg, Arc::new(WallClock::new()))
+    }
+
+    /// [`NavService::open_path`] with an injected clock.
+    pub fn open_path_with_clock(
+        path: &Path,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> DlnResult<NavService> {
+        Ok(NavService::from_store(
+            SnapshotStore::open_path(path)?,
+            cfg,
+            clock,
+        ))
+    }
+
+    fn from_store(store: SnapshotStore, cfg: ServeConfig, clock: Arc<dyn Clock>) -> NavService {
         NavService {
-            store: SnapshotStore::new(ctx, org, nav),
+            store,
             registry: Mutex::new(SessionRegistry::new(cfg.max_sessions, cfg.session_ttl_ms)),
             gate: AdmissionGate::new(cfg.max_concurrency, cfg.queue_depth, cfg.retry_base_ms),
             cfg,
@@ -339,6 +368,33 @@ impl NavService {
         let e = self.store.publish(ctx, org, nav);
         bump!(self.stats, published);
         e
+    }
+
+    /// Hot-swap in a store file: open it zero-copy (with `.prev`
+    /// fallback) and publish the mapped snapshot as a new epoch. Pinned
+    /// and migrating sessions behave exactly as under [`NavService::publish`].
+    pub fn publish_path(&self, path: &Path) -> DlnResult<u64> {
+        let mapped = Arc::new(dln_org::open_store_with_fallback(path)?);
+        Ok(self.publish_mapped(mapped))
+    }
+
+    /// Hot-swap in an already-opened store snapshot as a new epoch.
+    pub fn publish_mapped(&self, mapped: Arc<MappedSnapshot>) -> u64 {
+        let e = self.store.publish_mapped(mapped);
+        bump!(self.stats, published);
+        e
+    }
+
+    /// The currently published snapshot (cheap `Arc` clone).
+    pub fn snapshot(&self) -> Arc<OrgSnapshot> {
+        self.store.current()
+    }
+
+    /// Persist the currently published snapshot as a store file at
+    /// `path` (atomic write + `.prev` rotation) — the save half of the
+    /// millisecond cold-start loop.
+    pub fn save_current(&self, path: &Path) -> DlnResult<()> {
+        self.store.current().save(path)
     }
 
     /// Open a session on the current snapshot with fault key 0.
@@ -494,7 +550,7 @@ impl NavService {
         match req.action {
             StepAction::Descend(child) => {
                 let here = s.current();
-                if !snap.org().state(here).children.contains(&child) {
+                if !snap.children(here).contains(&child) {
                     return Err(ServeError::Nav(dln_fault::DlnError::invalid_navigation(
                         format!("state {} is not a child of state {}", child.0, here.0),
                     )));
@@ -507,7 +563,7 @@ impl NavService {
                 }
             }
             StepAction::Reset => {
-                let walk = std::mem::replace(&mut s.path, vec![snap.org().root()]);
+                let walk = std::mem::replace(&mut s.path, vec![snap.root()]);
                 s.log.record_walk(&walk);
             }
             StepAction::Stay => {}
@@ -529,16 +585,16 @@ impl NavService {
 
         // Render the view.
         let here = s.current();
-        let state = snap.org().state(here);
         let probs: Option<Vec<(StateId, f64)>> = match (&req.query, degraded) {
             // Snapshot-cached Eq 1 ranking: bit-identical to
             // `transition_probs_from`, but the child-topic gather is paid
-            // once per state per epoch instead of once per request.
+            // once per state per epoch (owned) or at save time (mapped)
+            // instead of once per request.
             (Some(q), false) => Some(snap.transition_probs(here, q)),
             _ => None,
         };
-        let children = state
-            .children
+        let children = snap
+            .children(here)
             .iter()
             .map(|&c| ChildView {
                 state: c,
@@ -559,7 +615,7 @@ impl NavService {
             state: here,
             depth: s.path.len() - 1,
             label: snap.label(here).to_string(),
-            at_tag_state: state.tag,
+            at_tag_state: snap.state_tag(here),
             children,
             tables,
             degraded,
@@ -581,22 +637,10 @@ impl NavService {
 
 /// Tables represented under `sid` (at least one attribute in the state's
 /// extent), most-covered first — the serving-layer equivalent of
-/// `Navigator::tables_here`.
+/// `Navigator::tables_here`, shared by the owned and mapped
+/// representations via [`dln_org::OrgView::tables_under`].
 pub fn tables_at(snap: &OrgSnapshot, sid: StateId) -> Vec<(TableId, usize)> {
-    let state = snap.org().state(sid);
-    let mut counts: Vec<(TableId, usize)> = Vec::new();
-    for table in snap.ctx().tables() {
-        let n = table
-            .attrs
-            .iter()
-            .filter(|&&a| state.attrs.contains(a))
-            .count();
-        if n > 0 {
-            counts.push((table.global, n));
-        }
-    }
-    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    counts
+    snap.view().tables_under(sid)
 }
 
 #[cfg(test)]

@@ -1,11 +1,20 @@
 //! Immutable organization snapshots and epoch-based hot-swap.
 //!
-//! A [`OrgSnapshot`] bundles everything a navigation request needs —
-//! context, organization DAG, navigation-model parameters — behind `Arc`s,
-//! plus a shared lazily-filled label cache (state labels are pure string
-//! renderings of immutable structure, so one computation serves every
-//! session). Snapshots are never mutated after publication: a re-optimized
-//! organization is installed by [`SnapshotStore::publish`], which swaps the
+//! A [`OrgSnapshot`] bundles everything a navigation request needs behind
+//! one read surface ([`OrgView`]), plus a shared lazily-filled label cache
+//! (state labels are pure string renderings of immutable structure, so one
+//! computation serves every session). Two representations publish through
+//! the same type:
+//!
+//! * **Owned** — the in-memory `(ctx, org)` pair produced by the
+//!   organizer, with per-state child-topic matrices gathered lazily.
+//! * **Mapped** — a [`MappedSnapshot`] opened zero-copy from a persistent
+//!   store file (DESIGN.md §5g); child matrices were laid out at save
+//!   time, so the Eq 1 ranking streams straight off the map.
+//!
+//! Snapshots are never mutated after publication: a re-optimized
+//! organization is installed by [`SnapshotStore::publish`] (or
+//! [`SnapshotStore::publish_mapped`] for a store file), which swaps the
 //! *whole* `Arc` under a short write lock and bumps the epoch. Readers
 //! clone the `Arc` under a read lock, so a request observes either the old
 //! snapshot or the new one in its entirety — never a torn mix (the paper's
@@ -20,43 +29,70 @@
 //! `lost_depth` so the client can tell the user "you were moved up N
 //! levels by a reorganization" instead of silently teleporting them.
 
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
+use dln_fault::DlnResult;
 use dln_org::eval::NavConfig;
-use dln_org::{transition_probs_from_mat, OrgContext, Organization, StateId};
+use dln_org::{
+    open_store_with_fallback, save_store, transition_probs_over, MappedSnapshot, OrgContext,
+    OrgView, Organization, OwnedSnap, StateId,
+};
+
+/// Which representation backs a snapshot.
+enum SnapSource {
+    /// In-memory context + organization.
+    Owned(OwnedSnap),
+    /// Zero-copy view of a persistent store file.
+    Mapped(Arc<MappedSnapshot>),
+}
 
 /// An immutable, shareable view of one published organization.
 pub struct OrgSnapshot {
     epoch: u64,
-    ctx: Arc<OrgContext>,
-    org: Arc<Organization>,
     nav: NavConfig,
+    source: SnapSource,
     /// Per-slot display labels, computed on first use and shared by every
     /// session on this snapshot.
     labels: Vec<OnceLock<String>>,
     /// Per-slot row-major `n_children × dim` child unit-topic matrices for
-    /// the Eq 1 transition ranking, computed on first use and shared by
-    /// every session — structure is immutable after publication, so one
+    /// the Eq 1 transition ranking (owned snapshots only — mapped ones
+    /// carry the matrices in the file), computed on first use and shared
+    /// by every session: structure is immutable after publication, so one
     /// gather pays for the whole epoch and each request's ranking becomes
     /// a single streaming mat-vec over contiguous memory.
     child_mats: Vec<OnceLock<Vec<f32>>>,
 }
 
 impl OrgSnapshot {
-    /// Wrap a context + organization as the snapshot for `epoch`.
-    pub fn new(epoch: u64, ctx: Arc<OrgContext>, org: Arc<Organization>, nav: NavConfig) -> Self {
-        let mut labels = Vec::with_capacity(org.n_slots());
-        labels.resize_with(org.n_slots(), OnceLock::new);
-        let mut child_mats = Vec::with_capacity(org.n_slots());
-        child_mats.resize_with(org.n_slots(), OnceLock::new);
+    fn from_source(epoch: u64, nav: NavConfig, source: SnapSource) -> OrgSnapshot {
+        let n_slots = match &source {
+            SnapSource::Owned(o) => o.n_slots(),
+            SnapSource::Mapped(m) => m.n_slots(),
+        };
+        let mut labels = Vec::with_capacity(n_slots);
+        labels.resize_with(n_slots, OnceLock::new);
+        let mut child_mats = Vec::with_capacity(n_slots);
+        child_mats.resize_with(n_slots, OnceLock::new);
         OrgSnapshot {
             epoch,
-            ctx,
-            org,
             nav,
+            source,
             labels,
             child_mats,
         }
+    }
+
+    /// Wrap a context + organization as the snapshot for `epoch`.
+    pub fn new(epoch: u64, ctx: Arc<OrgContext>, org: Arc<Organization>, nav: NavConfig) -> Self {
+        OrgSnapshot::from_source(epoch, nav, SnapSource::Owned(OwnedSnap { ctx, org }))
+    }
+
+    /// Wrap an opened store file as the snapshot for `epoch`; the
+    /// navigation-model parameters come from the file.
+    pub fn from_mapped(epoch: u64, mapped: Arc<MappedSnapshot>) -> Self {
+        let nav = mapped.nav();
+        OrgSnapshot::from_source(epoch, nav, SnapSource::Mapped(mapped))
     }
 
     /// The epoch this snapshot was published at (0 = the initial one).
@@ -65,16 +101,18 @@ impl OrgSnapshot {
         self.epoch
     }
 
-    /// The organization's context universe.
+    /// The snapshot's read surface.
     #[inline]
-    pub fn ctx(&self) -> &OrgContext {
-        &self.ctx
+    pub fn view(&self) -> &dyn OrgView {
+        match &self.source {
+            SnapSource::Owned(o) => o,
+            SnapSource::Mapped(m) => m.as_ref(),
+        }
     }
 
-    /// The organization DAG.
-    #[inline]
-    pub fn org(&self) -> &Organization {
-        &self.org
+    /// Is this snapshot served from a mapped store file?
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.source, SnapSource::Mapped(_))
     }
 
     /// Navigation-model parameters.
@@ -83,47 +121,77 @@ impl OrgSnapshot {
         self.nav
     }
 
+    /// The root state.
+    #[inline]
+    pub fn root(&self) -> StateId {
+        self.view().root()
+    }
+
+    /// Children of `sid`, in canonical order.
+    #[inline]
+    pub fn children(&self, sid: StateId) -> &[StateId] {
+        self.view().children(sid)
+    }
+
+    /// The local tag when `sid` is a tag state.
+    #[inline]
+    pub fn state_tag(&self, sid: StateId) -> Option<u32> {
+        self.view().state_tag(sid)
+    }
+
     /// Display label of a state (§4.4 labelling scheme), cached across all
     /// sessions of this snapshot.
     pub fn label(&self, sid: StateId) -> &str {
-        self.labels[sid.index()].get_or_init(|| self.org.label(&self.ctx, sid, 2))
+        self.labels[sid.index()].get_or_init(|| self.view().label_of(sid, 2))
     }
 
     /// Eq 1 transition probabilities out of `sid` for a query topic,
-    /// served from the snapshot's cached child-topic matrix —
-    /// **bit-identical** to
-    /// [`dln_org::transition_probs_from`] (the cached path runs the same
-    /// dot kernel row-by-row and the same softmax), but without re-walking
-    /// the children's scattered topic vectors on every request.
+    /// served from the snapshot's child-topic matrix — **bit-identical**
+    /// to [`dln_org::transition_probs_from`] (both paths funnel into
+    /// [`transition_probs_over`]: the same dot kernel row-by-row and the
+    /// same softmax), whether the matrix was gathered lazily (owned) or
+    /// laid out in the store file at save time (mapped).
     pub fn transition_probs(&self, sid: StateId, query_unit: &[f32]) -> Vec<(StateId, f64)> {
-        let mat = self.child_mats[sid.index()].get_or_init(|| {
-            let children = &self.org.state(sid).children;
-            let mut m = Vec::with_capacity(children.len() * self.ctx.dim());
-            for &c in children {
-                m.extend_from_slice(&self.org.state(c).unit_topic);
+        match &self.source {
+            SnapSource::Mapped(m) => transition_probs_over(
+                m.children(sid),
+                self.nav,
+                m.child_mat(sid).unwrap_or(&[]),
+                query_unit,
+            ),
+            SnapSource::Owned(o) => {
+                let mat = self.child_mats[sid.index()].get_or_init(|| {
+                    let children = o.children(sid);
+                    let mut m = Vec::with_capacity(children.len() * o.dim());
+                    for &c in children {
+                        m.extend_from_slice(o.state_unit_topic(c));
+                    }
+                    m
+                });
+                transition_probs_over(o.children(sid), self.nav, mat, query_unit)
             }
-            m
-        });
-        transition_probs_from_mat(&self.org, self.nav, sid, mat, query_unit)
+        }
     }
 
     /// Is `path` a root-anchored chain of alive edges on this snapshot?
     pub fn path_is_valid(&self, path: &[StateId]) -> bool {
-        let Some(&first) = path.first() else {
-            return false;
-        };
-        if first != self.org.root() {
-            return false;
+        self.view().path_is_valid(path)
+    }
+
+    /// Persist this snapshot as a store file at `path` (atomic write +
+    /// `.prev` rotation). Owned snapshots are encoded; mapped ones
+    /// re-publish their exact bytes.
+    pub fn save(&self, path: &Path) -> DlnResult<()> {
+        match &self.source {
+            SnapSource::Owned(o) => save_store(path, &o.ctx, &o.org, self.nav),
+            SnapSource::Mapped(m) => m.save_to(path),
         }
-        path.iter()
-            .all(|s| s.index() < self.org.n_slots() && self.org.state(*s).alive)
-            && path
-                .windows(2)
-                .all(|w| self.org.state(w[0]).children.contains(&w[1]))
     }
 }
 
-/// Replay `path` (valid on `old`) onto `new`, matching states by tag set.
+/// Replay `path` (valid on `old`) onto `new`, matching states by tag set
+/// (compared as raw bitset words — for an equal tag universe, word
+/// equality is set equality).
 ///
 /// Returns the deepest replayable prefix (always at least the new root)
 /// and the number of trailing old-path states that could not be matched.
@@ -132,22 +200,22 @@ pub fn replay_path(
     new: &OrgSnapshot,
     path: &[StateId],
 ) -> (Vec<StateId>, usize) {
-    let mut replayed = vec![new.org.root()];
+    let (ov, nv) = (old.view(), new.view());
+    let root = nv.root();
+    let mut replayed = vec![root];
     // A different tag universe (republication over a different lake or tag
     // group) makes tag-set identity meaningless: keep only the root.
-    if old.ctx.n_tags() != new.ctx.n_tags() {
+    if ov.n_tags() != nv.n_tags() {
         return (replayed, path.len().saturating_sub(1));
     }
     for old_sid in path.iter().skip(1) {
-        let want = &old.org.state(*old_sid).tags;
-        let here = *replayed.last().unwrap_or(&new.org.root());
-        let next = new
-            .org
-            .state(here)
-            .children
+        let want = ov.state_tag_words(*old_sid);
+        let here = *replayed.last().unwrap_or(&root);
+        let next = nv
+            .children(here)
             .iter()
             .copied()
-            .find(|c| new.org.state(*c).alive && &new.org.state(*c).tags == want);
+            .find(|c| nv.alive(*c) && nv.state_tag_words(*c) == want);
         match next {
             Some(c) => replayed.push(c),
             None => break,
@@ -188,6 +256,18 @@ impl SnapshotStore {
         }
     }
 
+    /// A store whose epoch 0 is opened zero-copy from the persistent
+    /// store file at `path` (with `.prev` generation fallback) — the
+    /// millisecond cold-start path.
+    pub fn open_path(path: &Path) -> DlnResult<SnapshotStore> {
+        let mapped = Arc::new(open_store_with_fallback(path)?);
+        let snap = OrgSnapshot::from_mapped(0, mapped);
+        Ok(SnapshotStore {
+            current: RwLock::new(Arc::new(snap)),
+            publish_lock: Mutex::new(()),
+        })
+    }
+
     /// The currently published snapshot. Cheap: one read lock + one `Arc`
     /// clone; the caller keeps the snapshot alive for as long as it needs
     /// it, independent of later publications.
@@ -200,19 +280,25 @@ impl SnapshotStore {
         rlock(&self.current).epoch()
     }
 
+    fn install(&self, make: impl FnOnce(u64) -> OrgSnapshot) -> u64 {
+        let _pub = plock(&self.publish_lock);
+        let next_epoch = rlock(&self.current).epoch() + 1;
+        let snap = Arc::new(make(next_epoch));
+        *wlock(&self.current) = snap;
+        next_epoch
+    }
+
     /// Atomically publish a new organization; returns its epoch. In-flight
     /// requests holding the previous `Arc` finish on it untouched.
     pub fn publish(&self, ctx: OrgContext, org: Organization, nav: NavConfig) -> u64 {
-        let _pub = plock(&self.publish_lock);
-        let next_epoch = rlock(&self.current).epoch() + 1;
-        let snap = Arc::new(OrgSnapshot::new(
-            next_epoch,
-            Arc::new(ctx),
-            Arc::new(org),
-            nav,
-        ));
-        *wlock(&self.current) = snap;
-        next_epoch
+        self.install(|e| OrgSnapshot::new(e, Arc::new(ctx), Arc::new(org), nav))
+    }
+
+    /// Atomically publish an opened store file; returns its epoch. Mapped
+    /// epochs hot-swap exactly like owned ones — sessions migrate across
+    /// by the same tag-set path replay.
+    pub fn publish_mapped(&self, mapped: Arc<MappedSnapshot>) -> u64 {
+        self.install(|e| OrgSnapshot::from_mapped(e, mapped))
     }
 }
 
@@ -238,10 +324,16 @@ mod tests {
         )
     }
 
+    fn store_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dln_serve_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn labels_are_cached_and_stable() {
         let (s, _) = snap(0);
-        let root = s.org().root();
+        let root = s.root();
         let l1 = s.label(root).to_string();
         let l2 = s.label(root).to_string();
         assert_eq!(l1, l2);
@@ -250,13 +342,20 @@ mod tests {
 
     #[test]
     fn cached_transition_ranking_matches_free_function_bitwise() {
-        let (s, _) = snap(0);
-        let query = s.ctx().attr(0).unit_topic.clone();
-        for sid in s.org().alive_ids() {
-            let free = dln_org::transition_probs_from(s.org(), s.nav(), sid, &query);
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        let query = ctx.attr(0).unit_topic.clone();
+        let alive: Vec<StateId> = org.alive_ids().collect();
+        let free: Vec<_> = alive
+            .iter()
+            .map(|&sid| dln_org::transition_probs_from(&org, NavConfig::default(), sid, &query))
+            .collect();
+        let s = OrgSnapshot::new(0, Arc::new(ctx), Arc::new(org), NavConfig::default());
+        for (sid, free) in alive.iter().zip(&free) {
             // Twice: first call fills the cache, second serves from it.
             for _ in 0..2 {
-                let cached = s.transition_probs(sid, &query);
+                let cached = s.transition_probs(*sid, &query);
                 assert_eq!(free.len(), cached.len());
                 for ((s1, p1), (s2, p2)) in free.iter().zip(&cached) {
                     assert_eq!(s1, s2);
@@ -267,10 +366,36 @@ mod tests {
     }
 
     #[test]
+    fn mapped_snapshot_serves_bit_identical_rankings() {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        let path = store_path("rankings.dlnstore");
+        dln_org::save_store(&path, &ctx, &org, NavConfig::default()).unwrap();
+        let mapped = Arc::new(dln_org::open_store(&path).unwrap());
+        let query = ctx.attr(0).unit_topic.clone();
+        let owned = OrgSnapshot::new(0, Arc::new(ctx), Arc::new(org), NavConfig::default());
+        let snap = OrgSnapshot::from_mapped(0, mapped);
+        assert!(snap.is_mapped() && !owned.is_mapped());
+        for sid in owned.view().topo_order() {
+            assert_eq!(snap.label(*sid), owned.label(*sid));
+            let (m, o) = (
+                snap.transition_probs(*sid, &query),
+                owned.transition_probs(*sid, &query),
+            );
+            assert_eq!(m.len(), o.len());
+            for ((s1, p1), (s2, p2)) in m.iter().zip(&o) {
+                assert_eq!(s1, s2);
+                assert_eq!(p1.to_bits(), p2.to_bits(), "state {} diverged", sid.0);
+            }
+        }
+    }
+
+    #[test]
     fn path_validity() {
         let (s, _) = snap(0);
-        let root = s.org().root();
-        let child = s.org().state(root).children[0];
+        let root = s.root();
+        let child = s.children(root)[0];
         assert!(s.path_is_valid(&[root, child]));
         assert!(!s.path_is_valid(&[child]), "must start at the root");
         assert!(!s.path_is_valid(&[]), "empty path is not a position");
@@ -280,12 +405,12 @@ mod tests {
     #[test]
     fn replay_identical_snapshot_is_lossless() {
         let (s, _) = snap(0);
-        let root = s.org().root();
+        let root = s.root();
         let mut path = vec![root];
         // Walk down two levels.
         for _ in 0..2 {
             let here = *path.last().unwrap();
-            let Some(&c) = s.org().state(here).children.first() else {
+            let Some(&c) = s.children(here).first() else {
                 break;
             };
             path.push(c);
@@ -301,16 +426,14 @@ mod tests {
         // A depth-2+ path in the clustering org: interior states with
         // multi-tag sets do not exist in the flat org, so everything below
         // the root is lost unless the first step is a tag state.
-        let root = clus.org().root();
+        let root = clus.root();
         let mut path = vec![root];
         let mut here = root;
         for _ in 0..8 {
             let Some(&c) = clus
-                .org()
-                .state(here)
-                .children
+                .children(here)
                 .iter()
-                .find(|c| clus.org().state(**c).tag.is_none())
+                .find(|c| clus.state_tag(**c).is_none())
             else {
                 break;
             };
@@ -323,11 +446,41 @@ mod tests {
         assert!(flat.path_is_valid(&replayed));
         assert!(lost >= 1, "flat org lacks the interior states");
         // Tag-state steps DO survive: root → tag state replays fully.
-        let ts = clus.org().tag_states()[0];
-        if clus.org().state(root).children.contains(&ts) {
+        let ts = clus.view().tag_state(0);
+        if clus.children(root).contains(&ts) {
             let (r2, l2) = replay_path(&clus, &flat, &[root, ts]);
             assert_eq!(l2, 0);
             assert!(flat.path_is_valid(&r2));
+        }
+    }
+
+    #[test]
+    fn replay_across_owned_and_mapped_representations() {
+        // The same organization, one epoch owned and one mapped from a
+        // store file: every path replays losslessly in both directions.
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        let path_file = store_path("replay.dlnstore");
+        dln_org::save_store(&path_file, &ctx, &org, NavConfig::default()).unwrap();
+        let mapped =
+            OrgSnapshot::from_mapped(1, Arc::new(dln_org::open_store(&path_file).unwrap()));
+        let owned = OrgSnapshot::new(0, Arc::new(ctx), Arc::new(org), NavConfig::default());
+        let root = owned.root();
+        let mut path = vec![root];
+        let mut here = root;
+        for _ in 0..3 {
+            let Some(&c) = owned.children(here).first() else {
+                break;
+            };
+            path.push(c);
+            here = c;
+        }
+        for (a, b) in [(&owned, &mapped), (&mapped, &owned)] {
+            let (replayed, lost) = replay_path(a, b, &path);
+            assert_eq!(lost, 0, "identical structure replays losslessly");
+            assert_eq!(replayed, path, "same slot ids: the store preserves them");
+            assert!(b.path_is_valid(&replayed));
         }
     }
 
@@ -343,5 +496,33 @@ mod tests {
         assert_eq!(store.epoch(), 1);
         assert_eq!(held.epoch(), 0, "held snapshot is untouched by publish");
         assert_eq!(store.current().epoch(), 1);
+    }
+
+    #[test]
+    fn open_path_and_publish_mapped_round_trip() {
+        let bench = TagCloudConfig::small().generate();
+        let ctx = OrgContext::full(&bench.lake);
+        let org = clustering_org(&ctx);
+        let path = store_path("openpath.dlnstore");
+        let owned = OrgSnapshot::new(
+            0,
+            Arc::new(ctx.clone()),
+            Arc::new(org),
+            NavConfig::default(),
+        );
+        owned.save(&path).unwrap();
+
+        let store = SnapshotStore::open_path(&path).unwrap();
+        assert_eq!(store.epoch(), 0);
+        assert!(store.current().is_mapped());
+        assert_eq!(store.current().root(), owned.root());
+
+        // A mapped snapshot can itself be re-saved and re-published.
+        let copy = store_path("openpath_copy.dlnstore");
+        store.current().save(&copy).unwrap();
+        let remapped = Arc::new(dln_org::open_store(&copy).unwrap());
+        let e1 = store.publish_mapped(remapped);
+        assert_eq!(e1, 1);
+        assert!(store.current().is_mapped());
     }
 }

@@ -16,9 +16,18 @@
 //! * `t`         — list tables under the current state
 //! * `r`         — republish a reorganized DAG (hot-swap: the session
 //!   migrates by path replay and reports the epoch change)
+//! * `w [path]`  — write the current organization to a store file
+//!   (atomic, checksummed; default path from `DLN_STORE_PATH`)
+//! * `o [path]`  — open a store file and publish it as a new epoch (the
+//!   session migrates onto the memory-mapped snapshot on its next step)
 //! * `q`         — quit
 //! * anything else — treat as a topic query: children are re-ranked by the
 //!   Eq 1 transition probability for that text
+//!
+//! When `DLN_STORE_PATH` names an existing store file, the REPL skips the
+//! expensive organization build entirely and serves straight off the
+//! memory map — the store's "open a lake in milliseconds" cold-start path.
+//! A first run can create that file with `w`.
 //!
 //! The service honors `DLN_SERVE_SESSIONS`, `DLN_SERVE_DEADLINE_MS` and
 //! `DLN_SERVE_CONCURRENCY`. Try `DLN_SERVE_DEADLINE_MS=1` with the
@@ -31,6 +40,7 @@
 use std::io::BufRead;
 
 use datalake_nav::embed::{tokenize, EmbeddingModel, TopicAccumulator};
+use datalake_nav::org::OrgContext;
 use datalake_nav::prelude::*;
 use datalake_nav::serve::SwapOutcome;
 
@@ -101,13 +111,37 @@ fn main() {
     let socrata = SocrataConfig::small().generate();
     let lake = &socrata.lake;
     println!("{}\n", lake.stats());
-    let built = OrganizerBuilder::new(lake).max_iters(300).build_optimized();
-    let svc = NavService::new(
-        built.ctx.clone(),
-        built.organization,
-        built.nav,
-        ServeConfig::from_env(),
-    );
+    let store_env = std::env::var("DLN_STORE_PATH").ok();
+    let persisted = store_env
+        .as_deref()
+        .map(std::path::Path::new)
+        .filter(|p| p.exists());
+    // `ctx`/`nav` feed the `r` (republish) command; when cold-starting from
+    // a store file the service itself never needs them.
+    let (svc, ctx, nav);
+    if let Some(path) = persisted {
+        let t = std::time::Instant::now();
+        svc = NavService::open_path(path, ServeConfig::from_env())
+            .expect("opening the DLN_STORE_PATH store file");
+        println!(
+            "(cold start: opened {} in {:.2} ms, mmap: {})",
+            path.display(),
+            t.elapsed().as_secs_f64() * 1e3,
+            svc.snapshot().is_mapped()
+        );
+        ctx = OrgContext::full(lake);
+        nav = svc.snapshot().nav();
+    } else {
+        let built = OrganizerBuilder::new(lake).max_iters(300).build_optimized();
+        ctx = built.ctx.clone();
+        nav = built.nav;
+        svc = NavService::new(
+            built.ctx,
+            built.organization,
+            built.nav,
+            ServeConfig::from_env(),
+        );
+    }
     let sid = svc.open_session().expect("fresh service has capacity");
     // Current topic bias (unit vector), if the user typed a query.
     let mut topic: Option<Vec<f32>> = None;
@@ -138,13 +172,42 @@ fn main() {
             "t" | "tables" => None, // re-render current state with tables
             "r" | "republish" => {
                 let org = if publishes.is_multiple_of(2) {
-                    flat_org(&built.ctx)
+                    flat_org(&ctx)
                 } else {
-                    clustering_org(&built.ctx)
+                    clustering_org(&ctx)
                 };
                 publishes += 1;
-                let epoch = svc.publish(built.ctx.clone(), org, built.nav);
+                let epoch = svc.publish(ctx.clone(), org, nav);
                 println!("(published epoch {epoch}; next step migrates this session)");
+                Some(StepAction::Stay)
+            }
+            cmd if cmd == "w" || cmd.starts_with("w ") => {
+                let arg = cmd[1..].trim();
+                let path = if arg.is_empty() {
+                    store_env.as_deref().unwrap_or("org.dln")
+                } else {
+                    arg
+                };
+                match svc.save_current(std::path::Path::new(path)) {
+                    Ok(()) => println!("(wrote current organization to {path})"),
+                    Err(e) => println!("(write failed: {e})"),
+                }
+                Some(StepAction::Stay)
+            }
+            cmd if cmd == "o" || cmd.starts_with("o ") => {
+                let arg = cmd[1..].trim();
+                let path = if arg.is_empty() {
+                    store_env.as_deref().unwrap_or("org.dln")
+                } else {
+                    arg
+                };
+                match svc.publish_path(std::path::Path::new(path)) {
+                    Ok(epoch) => println!(
+                        "(opened {path} as epoch {epoch}; next step migrates this session \
+                         onto the memory-mapped snapshot)"
+                    ),
+                    Err(e) => println!("(open failed: {e})"),
+                }
                 Some(StepAction::Stay)
             }
             "" => Some(StepAction::Stay),
