@@ -1,0 +1,404 @@
+//! Feedback-loop benchmark: emits `BENCH_reopt.json`.
+//!
+//! Two questions about the crash-safe re-optimization loop (DESIGN.md
+//! §5h), measured on a TagCloud lake served by a `NavService`:
+//!
+//! 1. **Feedback effectiveness** — a population of sessions navigates
+//!    with a shared "hot" query topic; after each of N feedback cycles
+//!    (drain → plan → demand-weighted shard search → shard republish),
+//!    the served organization's Eq 6 effectiveness is evaluated both
+//!    plain (uniform table weights, the paper's objective) and
+//!    *demand-weighted* (each visited state's walk mass spread over its
+//!    member tags, the objective the optimizer actually steers toward). The
+//!    delta against the static cycle-0 organization shows what the loop
+//!    buys the users generating the feedback.
+//! 2. **Migration cost** — the same re-optimized organization is
+//!    published twice against fleets of mid-walk sessions: once as a
+//!    shard-level republish (scoped swap; untouched-shard sessions ride
+//!    in place) and once as a whole-snapshot hot-swap (every session
+//!    replays by tag-set identity). Reported per publish: in-place vs
+//!    replayed migrations, total lost depth, and wall-clock of stepping
+//!    every session across the swap.
+//!
+//! Flags: `--attrs <n>` target attribute count (default 600), `--seed <n>`,
+//! `--cycles <n>` feedback cycles (default 4), `--sessions <n>` walks per
+//! cycle (default 24), `--probes <n>` mid-walk sessions per migration
+//! fleet (default 200), `--out <path>` (default `BENCH_reopt.json`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use dln_bench::git_commit;
+use dln_org::{
+    build_sharded, Evaluator, NavConfig, NavigationLog, OrgContext, Organization, ReoptConfig,
+    Reoptimizer, Representatives, SearchConfig, ShardPolicy, ShardedBuild,
+};
+use dln_serve::{NavService, ServeConfig, StepAction, StepRequest, SwapOutcome};
+use dln_synth::TagCloudConfig;
+
+struct Args {
+    attrs: usize,
+    seed: u64,
+    cycles: usize,
+    sessions: u64,
+    probes: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        attrs: 600,
+        seed: 42,
+        cycles: 4,
+        sessions: 24,
+        probes: 200,
+        out: "BENCH_reopt.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |j: usize| -> &str {
+            argv.get(j).map(|s| s.as_str()).unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", argv[j - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--attrs" => {
+                args.attrs = need(i + 1).parse().expect("--attrs: integer");
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = need(i + 1).parse().expect("--seed: integer");
+                i += 2;
+            }
+            "--cycles" => {
+                args.cycles = need(i + 1).parse().expect("--cycles: integer");
+                i += 2;
+            }
+            "--sessions" => {
+                args.sessions = need(i + 1).parse().expect("--sessions: integer");
+                i += 2;
+            }
+            "--probes" => {
+                args.probes = need(i + 1).parse().expect("--probes: integer");
+                i += 2;
+            }
+            "--out" => {
+                args.out = need(i + 1).to_string();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --attrs <n> --seed <n> --cycles <n> --sessions <n> \
+                     --probes <n> --out <path>"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dln_bench_reopt_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn service(build: &ShardedBuild) -> NavService {
+    NavService::new(
+        build.built.ctx.clone(),
+        build.built.organization.clone(),
+        build.built.nav,
+        ServeConfig::default(),
+    )
+}
+
+fn reopt_cfg(dir: &PathBuf, seed: u64) -> ReoptConfig {
+    let mut cfg = ReoptConfig::new(dir);
+    cfg.search = SearchConfig {
+        max_iters: 200,
+        plateau_iters: 60,
+        seed,
+        ..SearchConfig::default()
+    };
+    cfg.evidence_path = None;
+    cfg
+}
+
+/// Drive `n` sessions that navigate greedily by the hot query's Eq 1
+/// ranking — the feedback population the optimizer learns from.
+fn drive_hot_walks(svc: &NavService, hot: &[f32], n: u64, depth: usize) {
+    for i in 0..n {
+        let sid = svc.open_session_keyed(i).expect("open session");
+        for _ in 0..depth {
+            let mut req = StepRequest::action(StepAction::Stay);
+            req.query = Some(hot.to_vec());
+            let view = svc.step(sid, &req).expect("view");
+            let Some(best) = view
+                .children
+                .iter()
+                .max_by(|a, b| {
+                    a.prob
+                        .partial_cmp(&b.prob)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|c| c.state)
+            else {
+                break;
+            };
+            svc.step(sid, &StepRequest::action(StepAction::Descend(best)))
+                .expect("descend");
+        }
+        svc.close_session(sid).expect("close session");
+    }
+}
+
+/// Open `n` mid-walk probe sessions spread deterministically across the
+/// organization (child picked by session index at each level).
+fn open_probe_fleet(svc: &NavService, n: u64, depth: usize) -> Vec<dln_serve::SessionId> {
+    let mut probes = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let sid = svc.open_session_keyed(1_000_000 + i).expect("open probe");
+        for d in 0..depth {
+            let view = svc
+                .step(sid, &StepRequest::action(StepAction::Stay))
+                .expect("view");
+            if view.children.is_empty() {
+                break;
+            }
+            let pick = view.children[(i as usize + d) % view.children.len()].state;
+            svc.step(sid, &StepRequest::action(StepAction::Descend(pick)))
+                .expect("descend");
+        }
+        probes.push(sid);
+    }
+    probes
+}
+
+/// Plain and demand-weighted Eq 6 effectiveness of `org` on the full
+/// context. The demand weights mirror the optimizer's plan weighting:
+/// each visited state's walk mass spreads evenly over its member tags,
+/// and a table's weight is pseudo-count 4 plus the demand of its
+/// attributes' tags, mean-normalized.
+fn effectiveness_pair(
+    ctx: &OrgContext,
+    org: &Organization,
+    nav: NavConfig,
+    evidence: &NavigationLog,
+) -> (f64, f64) {
+    let reps = Representatives::exact(ctx);
+    let mut ev = Evaluator::new(ctx, org, nav, &reps);
+    let plain = ev.effectiveness();
+    let mut tag_demand = vec![0.0f64; ctx.n_tags()];
+    for s in org.alive_ids() {
+        let v = evidence.visits(s) as f64;
+        if v == 0.0 {
+            continue;
+        }
+        let member: Vec<u32> = org.state(s).tags.iter().collect();
+        if member.is_empty() {
+            continue;
+        }
+        let share = v / member.len() as f64;
+        for t in member {
+            tag_demand[t as usize] += share;
+        }
+    }
+    let mut weights = Vec::with_capacity(ctx.n_tables());
+    for table in ctx.tables() {
+        let mut demand = 4.0f64;
+        for &a in &table.attrs {
+            for &t in &ctx.attr(a).tags {
+                demand += tag_demand[t as usize];
+            }
+        }
+        weights.push(demand);
+    }
+    let total: f64 = weights.iter().sum();
+    let n = weights.len() as f64;
+    for w in &mut weights {
+        *w *= n / total;
+    }
+    ev.set_table_weights(&weights);
+    (plain, ev.effectiveness())
+}
+
+/// Step every probe once across a publish; returns (in_place, replayed,
+/// total lost depth, seconds).
+fn migrate_fleet(svc: &NavService, probes: &[dln_serve::SessionId]) -> (u64, u64, usize, f64) {
+    let in_place_0 = svc.stats().migrated_in_place.load(Ordering::Relaxed);
+    let replayed_0 = svc.stats().migrated.load(Ordering::Relaxed);
+    let mut lost_total = 0usize;
+    let start = Instant::now();
+    for &sid in probes {
+        let resp = svc
+            .step(sid, &StepRequest::action(StepAction::Stay))
+            .expect("step probe");
+        if let SwapOutcome::Migrated { lost_depth, .. } = resp.swap {
+            lost_total += lost_depth;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let in_place = svc.stats().migrated_in_place.load(Ordering::Relaxed) - in_place_0;
+    let replayed = svc.stats().migrated.load(Ordering::Relaxed) - replayed_0;
+    (in_place, replayed, lost_total, secs)
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("generating TagCloud lake (~{} attrs) ...", args.attrs);
+    let bench = TagCloudConfig {
+        n_tags: (args.attrs / 12).max(16),
+        n_attrs_target: args.attrs,
+        store_values: false,
+        seed: args.seed,
+        ..TagCloudConfig::small()
+    }
+    .generate();
+    let build_cfg = SearchConfig {
+        max_iters: 200,
+        plateau_iters: 60,
+        seed: args.seed,
+        shards: ShardPolicy::Fixed(4),
+        ..SearchConfig::default()
+    };
+    let build = build_sharded(&bench.lake, &build_cfg);
+    let ctx = &build.built.ctx;
+    let nav = build.built.nav;
+    eprintln!(
+        "context: {} attrs, {} tags, {} tables, {} shards",
+        ctx.n_attrs(),
+        ctx.n_tags(),
+        ctx.n_tables(),
+        build.n_shards()
+    );
+    let hot = ctx.attr(0).unit_topic.clone();
+
+    // Part 1: N feedback cycles against one served organization.
+    let svc = service(&build);
+    let dir = tmp_dir("cycles");
+    let mut reopt =
+        Reoptimizer::for_build(&bench.lake, &build, reopt_cfg(&dir, args.seed)).expect("reopt");
+    let static_org = build.built.organization.clone();
+    let mut cycle_lines = Vec::new();
+    let mut final_evidence = NavigationLog::new();
+    for cycle in 0..args.cycles {
+        drive_hot_walks(&svc, &hot, args.sessions, 6);
+        let report = svc.run_reopt_cycle(&mut reopt).expect("cycle");
+        final_evidence = reopt.evidence().clone();
+        let (_, org) = svc.snapshot().owned_parts().expect("owned snapshot");
+        let (plain, weighted) = effectiveness_pair(ctx, &org, nav, &final_evidence);
+        eprintln!(
+            "cycle {cycle}: drained {} sessions, shard {:?}, epoch {:?}, \
+             effectiveness plain {plain:.6} weighted {weighted:.6}",
+            report.drained_sessions, report.shard, report.epoch
+        );
+        cycle_lines.push(format!(
+            "      {{ \"cycle\": {cycle}, \"drained_sessions\": {}, \"shard\": {}, \
+             \"epoch\": {}, \"effectiveness_plain\": {plain:.9}, \
+             \"effectiveness_weighted\": {weighted:.9} }}",
+            report.drained_sessions,
+            report.shard.map_or("null".to_string(), |s| s.to_string()),
+            report.epoch.map_or("null".to_string(), |e| e.to_string()),
+        ));
+    }
+    // The static organization scored against the same final evidence.
+    let (static_plain, static_weighted) =
+        effectiveness_pair(ctx, &static_org, nav, &final_evidence);
+    let (_, final_org) = svc.snapshot().owned_parts().expect("owned snapshot");
+    let (final_plain, final_weighted) = effectiveness_pair(ctx, &final_org, nav, &final_evidence);
+    eprintln!(
+        "static:  plain {static_plain:.6} weighted {static_weighted:.6}\n\
+         reopt:   plain {final_plain:.6} weighted {final_weighted:.6} \
+         (weighted delta {:+.6})",
+        final_weighted - static_weighted
+    );
+
+    // Part 2: the same republish served two ways against probe fleets.
+    let reopt_full = (*final_org).clone();
+    // Shard republish: a fresh service re-runs one cycle (same walks, same
+    // durable-state discipline) against its own probe fleet.
+    let svc_shard = service(&build);
+    let dir2 = tmp_dir("migration");
+    let mut reopt2 =
+        Reoptimizer::for_build(&bench.lake, &build, reopt_cfg(&dir2, args.seed)).expect("reopt");
+    let probes_shard = open_probe_fleet(&svc_shard, args.probes, 3);
+    drive_hot_walks(&svc_shard, &hot, args.sessions, 6);
+    let report = svc_shard.run_reopt_cycle(&mut reopt2).expect("cycle");
+    assert!(report.epoch.is_some(), "migration fleet needs a republish");
+    let (in_place_s, replayed_s, lost_s, secs_s) = migrate_fleet(&svc_shard, &probes_shard);
+    // Whole-snapshot hot-swap of an equally re-optimized organization.
+    let svc_whole = service(&build);
+    let probes_whole = open_probe_fleet(&svc_whole, args.probes, 3);
+    svc_whole.publish(ctx.clone(), reopt_full, nav);
+    let (in_place_w, replayed_w, lost_w, secs_w) = migrate_fleet(&svc_whole, &probes_whole);
+    eprintln!(
+        "shard republish: {in_place_s} in place + {replayed_s} replayed, \
+         lost depth {lost_s}, {:.1} µs/session",
+        secs_s * 1e6 / args.probes as f64
+    );
+    eprintln!(
+        "whole snapshot:  {in_place_w} in place + {replayed_w} replayed, \
+         lost depth {lost_w}, {:.1} µs/session",
+        secs_w * 1e6 / args.probes as f64
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"reopt\",");
+    let _ = writeln!(json, "  \"git_commit\": \"{}\",", git_commit());
+    let _ = writeln!(
+        json,
+        "  \"lake\": {{ \"generator\": \"tagcloud\", \"n_attrs\": {}, \"n_tags\": {}, \
+         \"n_tables\": {}, \"seed\": {} }},",
+        ctx.n_attrs(),
+        ctx.n_tags(),
+        ctx.n_tables(),
+        args.seed
+    );
+    let _ = writeln!(json, "  \"n_shards\": {},", build.n_shards());
+    let _ = writeln!(json, "  \"sessions_per_cycle\": {},", args.sessions);
+    let _ = writeln!(json, "  \"feedback\": {{");
+    let _ = writeln!(
+        json,
+        "    \"static\": {{ \"effectiveness_plain\": {static_plain:.9}, \
+         \"effectiveness_weighted\": {static_weighted:.9} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"after_cycles\": {{ \"effectiveness_plain\": {final_plain:.9}, \
+         \"effectiveness_weighted\": {final_weighted:.9}, \"weighted_delta\": {:.9} }},",
+        final_weighted - static_weighted
+    );
+    let _ = writeln!(json, "    \"cycles\": [");
+    let _ = writeln!(json, "{}", cycle_lines.join(",\n"));
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"migration\": {{");
+    let _ = writeln!(json, "    \"n_sessions\": {},", args.probes);
+    let _ = writeln!(
+        json,
+        "    \"shard_republish\": {{ \"in_place\": {in_place_s}, \"replayed\": {replayed_s}, \
+         \"lost_depth_total\": {lost_s}, \"seconds\": {secs_s:.6} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"whole_snapshot\": {{ \"in_place\": {in_place_w}, \"replayed\": {replayed_w}, \
+         \"lost_depth_total\": {lost_w}, \"seconds\": {secs_w:.6} }}"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write BENCH_reopt.json");
+    println!("{json}");
+    eprintln!("wrote {}", args.out);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}

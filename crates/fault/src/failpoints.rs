@@ -36,6 +36,14 @@
 //! |                      | `SessionExpired { injected: true }` to the client)     |
 //! | `serve.swap_race`    | a step yields mid-request to widen the snapshot        |
 //! |                      | hot-swap race window, then re-resolves its epoch       |
+//! | `reopt.log_torn`     | an evidence-log WAL append is truncated mid-frame and  |
+//! |                      | reported as an error (the drain is not acknowledged)   |
+//! | `reopt.crash_mid_cycle` | the optimizer aborts right after durably committing |
+//! |                      | a planned cycle, before any search work               |
+//! | `reopt.crash_mid_publish` | the optimizer aborts after the shard search and   |
+//! |                      | graft complete, before the snapshot is published       |
+//! | `reopt.search_kill`  | the optimizer aborts between deadline-bounded search   |
+//! |                      | slices (the checkpoint on disk is the restart point)   |
 //!
 //! The `serve.*` sites use [`should_fail_keyed`]: the fire decision is a
 //! pure function of `(armed seed, caller key)`, independent of the global

@@ -20,8 +20,17 @@
 //!   fail to reach.
 
 use std::collections::HashMap;
+use std::path::Path;
+
+use dln_fault::{DlnError, DlnResult};
 
 use crate::graph::{Organization, StateId};
+use crate::persist;
+
+/// Magic prefix of a serialized [`NavigationLog`].
+const LOG_MAGIC: &[u8; 8] = b"DLNAVLOG";
+/// Current on-disk format version of a serialized [`NavigationLog`].
+const LOG_VERSION: u8 = 1;
 
 /// Accumulated navigation behaviour over an organization.
 #[derive(Clone, Debug, Default)]
@@ -66,6 +75,32 @@ impl NavigationLog {
             *self.choices.entry(*k).or_insert(0) += v;
         }
         self.sessions += other.sessions;
+    }
+
+    /// Subtract a previously [`merge`](Self::merge)d (or cloned) log from
+    /// this one — the acknowledgement half of an ack-after-durable drain:
+    /// the optimizer clones the live log, persists the clone, and only then
+    /// subtracts exactly what it persisted, so walks merged in between the
+    /// two steps survive untouched. Counts saturate at zero and exhausted
+    /// entries are removed, so draining everything leaves an empty log.
+    pub fn subtract(&mut self, drained: &NavigationLog) {
+        for (k, v) in &drained.visits {
+            if let Some(e) = self.visits.get_mut(k) {
+                *e = e.saturating_sub(*v);
+                if *e == 0 {
+                    self.visits.remove(k);
+                }
+            }
+        }
+        for (k, v) in &drained.choices {
+            if let Some(e) = self.choices.get_mut(k) {
+                *e = e.saturating_sub(*v);
+                if *e == 0 {
+                    self.choices.remove(k);
+                }
+            }
+        }
+        self.sessions = self.sessions.saturating_sub(drained.sessions);
     }
 
     /// Number of recorded walks.
@@ -155,6 +190,113 @@ impl NavigationLog {
             .zip(emp.iter().chain(std::iter::repeat(&0.0)))
             .map(|(m, e)| (1.0 - empirical_weight) * m + empirical_weight * e)
             .collect()
+    }
+
+    /// Serialize to a versioned, FNV-1a-sealed byte record. Map entries are
+    /// written in sorted key order, so identical logs produce identical
+    /// bytes regardless of `HashMap` iteration order — a requirement for
+    /// the evidence log's exactly-once accounting and for fingerprint
+    /// comparisons across restarts.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = persist::Writer::with_capacity(
+            8 + 1 + 8 + 8 + self.visits.len() * 12 + 8 + self.choices.len() * 16 + 8,
+        );
+        w.bytes(LOG_MAGIC);
+        w.u8(LOG_VERSION);
+        w.u64(self.sessions);
+        let mut visits: Vec<(u32, u64)> = self.visits.iter().map(|(k, v)| (*k, *v)).collect();
+        visits.sort_unstable();
+        w.u64(visits.len() as u64);
+        for (slot, count) in visits {
+            w.u32(slot);
+            w.u64(count);
+        }
+        let mut choices: Vec<((u32, u32), u64)> =
+            self.choices.iter().map(|(k, v)| (*k, *v)).collect();
+        choices.sort_unstable();
+        w.u64(choices.len() as u64);
+        for ((parent, child), count) in choices {
+            w.u32(parent);
+            w.u32(child);
+            w.u64(count);
+        }
+        w.seal()
+    }
+
+    /// Decode a record produced by [`encode`](Self::encode), verifying the
+    /// trailing checksum, magic, and version. `context` names the source
+    /// (e.g. a path) in error messages.
+    pub fn decode(bytes: &[u8], context: &str) -> DlnResult<NavigationLog> {
+        let payload = persist::verify_sealed(bytes, context)?;
+        let mut r = persist::Reader::new(payload, 0, context);
+        let magic = r.take(8)?;
+        if magic != LOG_MAGIC {
+            return Err(DlnError::corrupt(context, "not a navigation log"));
+        }
+        let version = r.u8()?;
+        if version != LOG_VERSION {
+            return Err(DlnError::corrupt(
+                context,
+                format!("unsupported navigation-log version {version}"),
+            ));
+        }
+        let sessions = r.u64()?;
+        let n_visits = r.u64()? as usize;
+        if n_visits > payload.len() {
+            return Err(DlnError::corrupt(
+                context,
+                format!("implausible visit count {n_visits}"),
+            ));
+        }
+        let mut visits = HashMap::with_capacity(n_visits);
+        for _ in 0..n_visits {
+            let slot = r.u32()?;
+            let count = r.u64()?;
+            visits.insert(slot, count);
+        }
+        let n_choices = r.u64()? as usize;
+        if n_choices > payload.len() {
+            return Err(DlnError::corrupt(
+                context,
+                format!("implausible choice count {n_choices}"),
+            ));
+        }
+        let mut choices = HashMap::with_capacity(n_choices);
+        for _ in 0..n_choices {
+            let parent = r.u32()?;
+            let child = r.u32()?;
+            let count = r.u64()?;
+            choices.insert((parent, child), count);
+        }
+        if r.pos() != payload.len() {
+            return Err(DlnError::corrupt(
+                context,
+                format!("{} trailing bytes", payload.len() - r.pos()),
+            ));
+        }
+        Ok(NavigationLog {
+            visits,
+            choices,
+            sessions,
+        })
+    }
+
+    /// Atomically persist the log at `path` (tmp + fsync + rename, rotating
+    /// the previous generation to `<path>.prev`).
+    pub fn save(&self, path: &Path) -> DlnResult<()> {
+        persist::atomic_write(path, &self.encode())
+    }
+
+    /// Load a log saved by [`save`](Self::save), without fallback.
+    pub fn load(path: &Path) -> DlnResult<NavigationLog> {
+        let bytes = std::fs::read(path).map_err(|e| DlnError::io(path.display().to_string(), e))?;
+        NavigationLog::decode(&bytes, &path.display().to_string())
+    }
+
+    /// Load a log saved by [`save`](Self::save), falling back to the
+    /// rotated `<path>.prev` generation when the newest file is torn.
+    pub fn load_with_fallback(path: &Path) -> DlnResult<NavigationLog> {
+        persist::load_with_fallback(path, "navigation log", NavigationLog::load)
     }
 }
 
@@ -362,5 +504,108 @@ mod tests {
         let r = log.empirical_reachability(&org);
         assert!((r[org.root().index()] - 1.0).abs() < 1e-12);
         assert!(r.iter().filter(|&&v| v > 0.0).count() > 6);
+    }
+
+    fn sample_log() -> NavigationLog {
+        let mut log = NavigationLog::new();
+        log.record_walk(&[StateId(9), StateId(2), StateId(5)]);
+        log.record_walk(&[StateId(9), StateId(2)]);
+        log.record_walk(&[StateId(9), StateId(7), StateId(1), StateId(0)]);
+        log
+    }
+
+    fn logs_equal(a: &NavigationLog, b: &NavigationLog) -> bool {
+        a.sessions == b.sessions && a.visits == b.visits && a.choices == b.choices
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_and_determinism() {
+        let log = sample_log();
+        let bytes = log.encode();
+        let back = NavigationLog::decode(&bytes, "test").expect("decode");
+        assert!(logs_equal(&log, &back));
+        // Deterministic bytes: re-encoding (and encoding a rebuilt clone
+        // whose HashMaps have a different insertion history) is identical.
+        assert_eq!(bytes, back.encode());
+        let mut rebuilt = NavigationLog::new();
+        rebuilt.merge(&back);
+        assert_eq!(bytes, rebuilt.encode());
+        // Empty log round-trips too.
+        let empty = NavigationLog::new();
+        let back = NavigationLog::decode(&empty.encode(), "test").expect("decode empty");
+        assert!(logs_equal(&empty, &back));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_rejected() {
+        let bytes = sample_log().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            let err = NavigationLog::decode(&bad, "test").unwrap_err();
+            assert!(
+                matches!(err, dln_fault::DlnError::Corrupt { .. }),
+                "flip at byte {i}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample_log().encode();
+        for n in 0..bytes.len() {
+            let err = NavigationLog::decode(&bytes[..n], "test").unwrap_err();
+            assert!(
+                matches!(err, dln_fault::DlnError::Corrupt { .. }),
+                "truncation to {n} bytes: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_and_prev_fallback() {
+        let dir = std::env::temp_dir().join(format!("dln_navlog_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nav.log");
+        let log = sample_log();
+        log.save(&path).expect("save");
+        let back = NavigationLog::load_with_fallback(&path).expect("load");
+        assert!(logs_equal(&log, &back));
+        // Second generation rotates the first to .prev; tearing the newest
+        // file falls back to the previous generation.
+        let mut newer = log.clone();
+        newer.record_walk(&[StateId(9), StateId(3)]);
+        newer.save(&path).expect("save gen 2");
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() * 2 / 3]).unwrap();
+        let back = NavigationLog::load_with_fallback(&path).expect("fallback");
+        assert!(logs_equal(&log, &back), "fell back to generation 1");
+        // Both generations torn → Corrupt.
+        std::fs::write(crate::persist::prev_path(&path), b"junk").unwrap();
+        let err = NavigationLog::load_with_fallback(&path).unwrap_err();
+        assert!(matches!(err, dln_fault::DlnError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn subtract_is_exact_drain_ack() {
+        let root = StateId(9);
+        let c0 = StateId(2);
+        let mut live = sample_log();
+        // The optimizer clones the live log and persists it...
+        let drained = live.clone();
+        // ...while a new walk lands in between.
+        live.record_walk(&[root, c0]);
+        // The ack removes exactly what was drained; the interim walk stays.
+        live.subtract(&drained);
+        assert_eq!(live.n_sessions(), 1);
+        assert_eq!(live.visits(root), 1);
+        assert_eq!(live.choices(root, c0), 1);
+        assert_eq!(live.visits(StateId(7)), 0, "drained entries are removed");
+        // Draining everything leaves a log indistinguishable from empty.
+        let rest = live.clone();
+        live.subtract(&rest);
+        assert!(logs_equal(&live, &NavigationLog::new()));
+        assert!(live.visits.is_empty() && live.choices.is_empty());
     }
 }

@@ -49,6 +49,9 @@
 //! * [`shard`] — sharded single-dimension construction: tags split into
 //!   embedding clusters, per-shard parallel search, shard roots stitched
 //!   under a top-level router state (DESIGN.md §5e).
+//! * [`reopt`] — the crash-safe feedback-driven re-optimization loop:
+//!   durable evidence log, epoch-committed cycles, shard-scoped
+//!   checkpointed search, and graft-back shard republish (DESIGN.md §5h).
 //! * [`success`] — the success-probability evaluation measure (§4.2).
 //! * [`navigate`] — interactive navigation over a built organization
 //!   (state labelling and query-conditioned transitions, §4.4 prototype).
@@ -71,6 +74,7 @@ pub mod multidim;
 pub mod navigate;
 pub mod ops;
 pub mod persist;
+pub mod reopt;
 pub mod search;
 pub mod shard;
 pub mod store;
@@ -92,6 +96,7 @@ pub use navigate::{
     transition_probs_from, transition_probs_from_mat, transition_probs_over, Navigator,
 };
 pub use ops::{OpKind, OpOutcome};
+pub use reopt::{Advance, CyclePhase, CycleStage, EvidenceLog, ReoptConfig, Reoptimizer};
 pub use search::{IterStats, SearchConfig, SearchStats, ShardPolicy, StopReason};
 pub use shard::{
     build_sharded, build_sharded_group, derive_shard_seed, ShardedBuild, AUTO_SHARD_MAX,

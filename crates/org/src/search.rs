@@ -123,6 +123,13 @@ pub struct SearchConfig {
     /// construction *around* [`optimize`], which each shard still enters
     /// with `Fixed(1)`.
     pub shards: ShardPolicy,
+    /// Optional per-table demand weights for the objective (one per local
+    /// table; see [`Evaluator::set_table_weights`]): the feedback loop's
+    /// way of steering the search toward tables users actually look for.
+    /// `None` (the default) is the paper's uniform Eq 6 objective,
+    /// bit-identical to a config without this knob. `Some` changes the
+    /// walk, so it participates in the checkpoint fingerprint.
+    pub table_weights: Option<Vec<f64>>,
 }
 
 /// How sharded construction ([`crate::shard`]) chooses its shard count.
@@ -178,6 +185,7 @@ impl Default for SearchConfig {
             deadline: deadline_from_env(),
             checkpoint: checkpoint_from_env(),
             shards: shards_from_env(),
+            table_weights: None,
         }
     }
 }
@@ -256,6 +264,14 @@ fn config_fingerprint(cfg: &SearchConfig) -> u64 {
     h = mix(h, cfg.acceptance_power.to_bits());
     h = mix(h, cfg.rep_fraction.to_bits());
     h = mix(h, cfg.nav.gamma.to_bits() as u64);
+    // Only mixed when present, so `None` fingerprints are byte-identical
+    // to configs (and checkpoints) predating this knob.
+    if let Some(w) = &cfg.table_weights {
+        h = mix(h, w.len() as u64 + 1);
+        for v in w {
+            h = mix(h, v.to_bits());
+        }
+    }
     h
 }
 
@@ -733,6 +749,9 @@ fn run_search(
         Representatives::kmedoids(ctx, cfg.rep_fraction, cfg.seed ^ 0x4e9d)
     };
     let mut ev = Evaluator::new(ctx, org, cfg.nav, &reps);
+    if let Some(w) = &cfg.table_weights {
+        ev.set_table_weights(w);
+    }
     let batch_size = cfg.batch_size.max(1);
     let initial = ev.effectiveness();
     let config_fp = config_fingerprint(cfg);
@@ -1210,6 +1229,9 @@ pub fn optimize_reference(
         Representatives::kmedoids(ctx, cfg.rep_fraction, cfg.seed ^ 0x4e9d)
     };
     let mut ev = Evaluator::new(ctx, org, cfg.nav, &reps);
+    if let Some(w) = &cfg.table_weights {
+        ev.set_table_weights(w);
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let initial = ev.effectiveness();
     let mut eff = initial;

@@ -30,11 +30,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dln_fault::{should_fail_keyed, DlnResult};
+use dln_fault::{should_fail_keyed, DlnError, DlnResult};
 use dln_lake::TableId;
 use dln_org::eval::NavConfig;
 use dln_org::{
-    BuiltOrganization, MappedSnapshot, NavigationLog, OrgContext, Organization, StateId,
+    Advance, BuiltOrganization, MappedSnapshot, NavigationLog, OrgContext, Organization,
+    Reoptimizer, StateId,
 };
 
 use crate::clock::{Clock, WallClock};
@@ -243,8 +244,12 @@ pub struct ServeStats {
     pub evicted_ttl: AtomicU64,
     /// Sessions torn down by the `serve.drop_session` failpoint.
     pub dropped_fault: AtomicU64,
-    /// Requests that migrated their session to a new epoch.
+    /// Requests that migrated their session to a new epoch by path replay.
     pub migrated: AtomicU64,
+    /// Requests that rode a shard-level republish *in place*: the session's
+    /// path avoided every changed slot, so the snapshot `Arc` was swapped
+    /// without replay and with `lost_depth == 0`.
+    pub migrated_in_place: AtomicU64,
     /// Requests that kept navigating a pinned old epoch.
     pub pinned: AtomicU64,
     /// Requests refused as stale under [`SwapPolicy::Reject`].
@@ -257,6 +262,22 @@ macro_rules! bump {
     ($stats:expr, $field:ident) => {
         $stats.$field.fetch_add(1, Ordering::Relaxed)
     };
+}
+
+/// What one service-driven re-optimization cycle did
+/// ([`NavService::run_reopt_cycle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleReport {
+    /// TTL-expired sessions swept at cycle start; their walks finalize
+    /// into the merged log *before* the drain, so feedback from abandoned
+    /// sessions still reaches the optimizer.
+    pub swept: usize,
+    /// Sessions durably drained into the evidence log this cycle.
+    pub drained_sessions: u64,
+    /// Epoch of the shard republish, when one was published.
+    pub epoch: Option<u64>,
+    /// Index of the re-optimized shard, when one was published.
+    pub shard: Option<usize>,
 }
 
 /// The concurrent navigation service.
@@ -383,6 +404,85 @@ impl NavService {
         let e = self.store.publish_mapped(mapped);
         bump!(self.stats, published);
         e
+    }
+
+    /// Hot-swap in a shard-level republish: `org` differs from the current
+    /// snapshot only in the `changed` slots. Sessions whose paths avoid
+    /// those slots migrate *in place* (no replay, `lost_depth == 0`);
+    /// sessions inside the republished shard replay as usual.
+    pub fn publish_shard(
+        &self,
+        ctx: Arc<OrgContext>,
+        org: Organization,
+        nav: NavConfig,
+        changed: Vec<u32>,
+    ) -> u64 {
+        let e = self.store.publish_scoped(ctx, org, nav, changed);
+        bump!(self.stats, published);
+        e
+    }
+
+    /// Subtract a durably drained delta from the merged log — the
+    /// ack-after-durable half of the evidence drain. Call only with a
+    /// delta the evidence log reported written; walks recorded since the
+    /// delta was cloned are preserved exactly.
+    pub fn ack_drained(&self, drained: &NavigationLog) {
+        lock(&self.log).subtract(drained);
+    }
+
+    /// Run one re-optimization cycle against this service:
+    ///
+    /// 1. sweep TTL-expired sessions (their walks finalize into the merged
+    ///    log, so abandoned sessions still count as feedback);
+    /// 2. drain the merged log into the optimizer's durable evidence log —
+    ///    ack-after-durable, so a torn append loses nothing and a repeated
+    ///    drain double-counts nothing;
+    /// 3. advance the optimizer's cycle state machine (plan → checkpointed
+    ///    shard search → graft);
+    /// 4. publish a staged graft as a shard-level republish and commit the
+    ///    cycle.
+    ///
+    /// Errors are optimizer crashes: the service keeps serving its current
+    /// snapshot, and a fresh [`Reoptimizer`] over the same directory
+    /// resumes the cycle bit-identically.
+    pub fn run_reopt_cycle(&self, reopt: &mut Reoptimizer<'_>) -> DlnResult<CycleReport> {
+        let swept = self.sweep_expired();
+        let delta = self.merged_log();
+        let drained_sessions = if delta.n_sessions() > 0 {
+            reopt.drain(&delta)?;
+            self.ack_drained(&delta);
+            delta.n_sessions()
+        } else {
+            0
+        };
+        let snap = self.snapshot();
+        let Some((ctx, org)) = snap.owned_parts() else {
+            return Err(DlnError::InvalidConfig(
+                "re-optimization requires an owned snapshot; republish the mapped store \
+                 as an in-memory organization first"
+                    .to_string(),
+            ));
+        };
+        match reopt.advance(&ctx, &org)? {
+            Advance::Skipped => Ok(CycleReport {
+                swept,
+                drained_sessions,
+                epoch: None,
+                shard: None,
+            }),
+            Advance::Staged(stage) => {
+                let shard = stage.shard;
+                let new_root = stage.new_root;
+                let epoch = self.publish_shard(ctx, stage.org, snap.nav(), stage.changed);
+                reopt.mark_published(shard, new_root)?;
+                Ok(CycleReport {
+                    swept,
+                    drained_sessions,
+                    epoch: Some(epoch),
+                    shard: Some(shard),
+                })
+            }
+        }
     }
 
     /// The currently published snapshot (cheap `Arc` clone).
@@ -531,11 +631,27 @@ impl NavService {
                     });
                 }
                 SwapPolicy::Migrate => {
-                    let (path, lost_depth) = replay_path(&s.snapshot, &current, &s.path);
                     let from_epoch = s.snapshot.epoch();
+                    // Shard-level republish fast path: when the new epoch
+                    // carries a scope anchored at this session's epoch and
+                    // the path avoids every changed slot, the identical
+                    // slots are still alive in the new snapshot — swap the
+                    // `Arc` in place, no replay, nothing lost. Sessions
+                    // inside the republished shard (or more than one epoch
+                    // behind) take the ordinary tag-set replay.
+                    let in_place = current.scope().is_some_and(|sc| {
+                        sc.from_epoch() == from_epoch && !sc.affects_path(&s.path)
+                    }) && current.path_is_valid(&s.path);
+                    let lost_depth = if in_place {
+                        bump!(self.stats, migrated_in_place);
+                        0
+                    } else {
+                        let (path, lost) = replay_path(&s.snapshot, &current, &s.path);
+                        s.path = path;
+                        bump!(self.stats, migrated);
+                        lost
+                    };
                     s.snapshot = Arc::clone(&current);
-                    s.path = path;
-                    bump!(self.stats, migrated);
                     SwapOutcome::Migrated {
                         from_epoch,
                         to_epoch: current.epoch(),

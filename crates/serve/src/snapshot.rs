@@ -47,11 +47,62 @@ enum SnapSource {
     Mapped(Arc<MappedSnapshot>),
 }
 
+/// Scope of a publication: `None` on a whole-snapshot publish, `Some` on
+/// a shard-level republish where only the listed slots changed relative
+/// to the snapshot of `from_epoch`.
+///
+/// This is what lets the serving layer migrate sessions pinned to
+/// *untouched* shards by swapping their snapshot `Arc` in place — no
+/// path replay, no lost depth — while sessions inside the republished
+/// shard take the ordinary [`replay_path`] route.
+#[derive(Clone, Debug)]
+pub struct PublishScope {
+    from_epoch: u64,
+    /// Sorted, deduplicated changed slot ids (tombstoned + grafted).
+    changed: Vec<u32>,
+}
+
+impl PublishScope {
+    /// A scope describing a republish of `changed` slots on top of the
+    /// snapshot published at `from_epoch`.
+    pub fn new(from_epoch: u64, mut changed: Vec<u32>) -> PublishScope {
+        changed.sort_unstable();
+        changed.dedup();
+        PublishScope {
+            from_epoch,
+            changed,
+        }
+    }
+
+    /// The epoch this republish was derived from: the in-place migration
+    /// shortcut is only sound for sessions pinned exactly there.
+    pub fn from_epoch(&self) -> u64 {
+        self.from_epoch
+    }
+
+    /// Number of changed slots.
+    pub fn n_changed(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// Does the scope touch `sid`?
+    pub fn touches(&self, sid: StateId) -> bool {
+        self.changed.binary_search(&sid.0).is_ok()
+    }
+
+    /// Does the scope touch any state on `path`?
+    pub fn affects_path(&self, path: &[StateId]) -> bool {
+        path.iter().any(|s| self.touches(*s))
+    }
+}
+
 /// An immutable, shareable view of one published organization.
 pub struct OrgSnapshot {
     epoch: u64,
     nav: NavConfig,
     source: SnapSource,
+    /// Shard-republish scope, when this snapshot was published as one.
+    scope: Option<PublishScope>,
     /// Per-slot display labels, computed on first use and shared by every
     /// session on this snapshot.
     labels: Vec<OnceLock<String>>,
@@ -78,6 +129,7 @@ impl OrgSnapshot {
             epoch,
             nav,
             source,
+            scope: None,
             labels,
             child_mats,
         }
@@ -113,6 +165,23 @@ impl OrgSnapshot {
     /// Is this snapshot served from a mapped store file?
     pub fn is_mapped(&self) -> bool {
         matches!(self.source, SnapSource::Mapped(_))
+    }
+
+    /// The shard-republish scope this snapshot was published with, if any.
+    #[inline]
+    pub fn scope(&self) -> Option<&PublishScope> {
+        self.scope.as_ref()
+    }
+
+    /// The owned `(ctx, org)` pair behind this snapshot, when it is owned.
+    /// The re-optimization loop needs the live structures to plan and
+    /// graft against; a mapped snapshot returns `None` (re-optimizing a
+    /// store file requires re-materializing it first).
+    pub fn owned_parts(&self) -> Option<(Arc<OrgContext>, Arc<Organization>)> {
+        match &self.source {
+            SnapSource::Owned(o) => Some((Arc::clone(&o.ctx), Arc::clone(&o.org))),
+            SnapSource::Mapped(_) => None,
+        }
     }
 
     /// Navigation-model parameters.
@@ -299,6 +368,26 @@ impl SnapshotStore {
     /// by the same tag-set path replay.
     pub fn publish_mapped(&self, mapped: Arc<MappedSnapshot>) -> u64 {
         self.install(|e| OrgSnapshot::from_mapped(e, mapped))
+    }
+
+    /// Atomically publish a shard-level republish: `org` differs from the
+    /// currently published snapshot only in the `changed` slots (the
+    /// tombstoned and grafted states of one shard subtree). The snapshot
+    /// carries a [`PublishScope`] anchored at the predecessor epoch, which
+    /// the migration path uses to keep sessions on untouched shards in
+    /// place instead of replaying them.
+    pub fn publish_scoped(
+        &self,
+        ctx: Arc<OrgContext>,
+        org: Organization,
+        nav: NavConfig,
+        changed: Vec<u32>,
+    ) -> u64 {
+        self.install(|e| {
+            let mut snap = OrgSnapshot::new(e, ctx, Arc::new(org), nav);
+            snap.scope = Some(PublishScope::new(e - 1, changed));
+            snap
+        })
     }
 }
 

@@ -1,0 +1,401 @@
+//! Chaos suite for the crash-safe feedback-driven re-optimization loop
+//! (DESIGN.md §5h): a served sharded organization collects navigation
+//! feedback, and a `Reoptimizer` runs epoch-committed cycles against it
+//! while every `reopt.*` failpoint kills the optimizer at phase
+//! boundaries. The contract:
+//!
+//! * **Bit-identical convergence** — for any failpoint schedule, killing
+//!   the optimizer and restarting it from its durable state (fresh
+//!   `Reoptimizer` over the same directory) converges to exactly the
+//!   organization an uninterrupted run publishes, fingerprint-equal.
+//! * **No torn snapshots** — `validate_live_paths` reports zero invalid
+//!   paths after every crashed or successful cycle attempt.
+//! * **Evidence conservation** — walk counts in the durable evidence log
+//!   plus the service's merged log always equal the walks recorded: a
+//!   torn append loses nothing (not acknowledged), a repeated drain
+//!   double-counts nothing (ack-after-durable subtraction).
+//! * **Shard-scoped migration** — sessions pinned to untouched shards
+//!   ride a shard republish in place (`lost_depth == 0`, no replay);
+//!   sessions inside the republished shard migrate by ordinary path
+//!   replay onto valid paths.
+//!
+//! CI runs this binary with `DLN_FAILPOINTS` arming the `reopt.*` sites
+//! at various probabilities (and `--test-threads=1`, since an env-armed
+//! run must not overlap another test's scoped override); the assertions
+//! hold in every cell of that matrix.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datalake_nav::org::{
+    build_sharded, CyclePhase, Organization, ReoptConfig, Reoptimizer, SearchConfig, ShardPolicy,
+    ShardedBuild, StateId,
+};
+use datalake_nav::prelude::*;
+use datalake_nav::serve::{Clock, CycleReport, ManualClock, SwapOutcome};
+use datalake_nav::synth::TagCloudConfig;
+
+const N_WALKS: u64 = 6;
+const WALK_DEPTH: usize = 3;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dln_reopt_chaos_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn setup() -> (DataLake, ShardedBuild) {
+    let bench = TagCloudConfig::small().generate();
+    let cfg = SearchConfig {
+        max_iters: 60,
+        plateau_iters: 20,
+        shards: ShardPolicy::Fixed(2),
+        ..SearchConfig::default()
+    };
+    let sharded = build_sharded(&bench.lake, &cfg);
+    assert!(sharded.n_shards() >= 2, "need a router to shard-republish");
+    (bench.lake, sharded)
+}
+
+fn service(build: &ShardedBuild) -> NavService {
+    NavService::with_clock(
+        build.built.ctx.clone(),
+        build.built.organization.clone(),
+        build.built.nav,
+        ServeConfig::default(),
+        Arc::new(ManualClock::new(0)),
+    )
+}
+
+/// Cycle configuration pinned against environment overrides: a small
+/// sliced deadline (so `reopt.search_kill` has slice boundaries to fire
+/// at) and the evidence log inside the per-test directory.
+fn reopt_cfg(dir: &Path) -> ReoptConfig {
+    let mut cfg = ReoptConfig::new(dir);
+    cfg.search = SearchConfig {
+        max_iters: 60,
+        plateau_iters: 20,
+        seed: 5,
+        ..SearchConfig::default()
+    };
+    cfg.slice = Some(Duration::from_millis(2));
+    cfg.ckpt_every = 2;
+    cfg.evidence_path = None;
+    cfg
+}
+
+/// Record `n` deterministic walks: each session descends `depth` levels
+/// (child picked by session index, so identical across services over the
+/// same organization) and closes, finalizing its walk into the merged log.
+fn drive_walks(svc: &NavService, n: u64, depth: usize) {
+    for i in 0..n {
+        let sid = svc.open_session_keyed(i).expect("open session");
+        for d in 0..depth {
+            let view = svc
+                .step(sid, &StepRequest::action(StepAction::Stay))
+                .expect("view");
+            if view.children.is_empty() {
+                break;
+            }
+            let pick = view.children[(i as usize + d) % view.children.len()].state;
+            svc.step(sid, &StepRequest::action(StepAction::Descend(pick)))
+                .expect("descend");
+        }
+        svc.close_session(sid).expect("close session");
+    }
+}
+
+/// Run cycles until one publishes, simulating `kill -9` recovery: every
+/// attempt constructs a *fresh* `Reoptimizer` over the same directory (the
+/// durable state is the only carry-over). After every attempt — crashed or
+/// not — no live session's path may be torn.
+fn drive_to_publish(
+    svc: &NavService,
+    lake: &DataLake,
+    build: &ShardedBuild,
+    dir: &Path,
+    max_attempts: usize,
+) -> (CycleReport, usize) {
+    for attempt in 1..=max_attempts {
+        let mut reopt = Reoptimizer::for_build(lake, build, reopt_cfg(dir)).expect("restart");
+        let out = svc.run_reopt_cycle(&mut reopt);
+        let (_, invalid) = svc.validate_live_paths();
+        assert_eq!(invalid, 0, "a cycle attempt tore a live session's path");
+        match out {
+            Ok(r) if r.epoch.is_some() => return (r, attempt),
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    panic!("optimizer failed to publish within {max_attempts} restarts");
+}
+
+/// The root-anchored path to `target` (BFS over alive children).
+fn path_to(org: &Organization, target: StateId) -> Vec<StateId> {
+    use std::collections::{HashMap, HashSet, VecDeque};
+    let mut prev: HashMap<u32, StateId> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::from([org.root().0]);
+    let mut q = VecDeque::from([org.root()]);
+    while let Some(s) = q.pop_front() {
+        if s == target {
+            break;
+        }
+        for &c in &org.state(s).children {
+            if seen.insert(c.0) {
+                prev.insert(c.0, s);
+                q.push_back(c);
+            }
+        }
+    }
+    let mut path = vec![target];
+    while *path.last().expect("nonempty") != org.root() {
+        let p = prev[&path.last().expect("nonempty").0];
+        path.push(p);
+    }
+    path.reverse();
+    path
+}
+
+/// Open a session and walk it to `target` via the step API.
+fn open_probe_at(svc: &NavService, org: &Organization, target: StateId, key: u64) -> SessionId {
+    let sid = svc.open_session_keyed(key).expect("open probe");
+    for step in path_to(org, target).into_iter().skip(1) {
+        svc.step(sid, &StepRequest::action(StepAction::Descend(step)))
+            .expect("probe descend");
+    }
+    sid
+}
+
+/// The tentpole property: under every `reopt.*` failpoint, kill-and-restart
+/// cycles converge to the bit-identical organization of an uninterrupted
+/// run, with zero torn paths and exact evidence accounting throughout.
+#[test]
+fn killed_optimizer_converges_bit_identically() {
+    let (lake, build) = setup();
+
+    // Baseline: the same walks, one uninterrupted cycle, no failpoints.
+    let base_fp;
+    {
+        let _clean = dln_fault::scoped("").expect("clean scope");
+        let svc = service(&build);
+        drive_walks(&svc, N_WALKS, WALK_DEPTH);
+        let dir = tmp("base");
+        let (report, attempts) = drive_to_publish(&svc, &lake, &build, &dir, 4);
+        assert_eq!(attempts, 1, "unfaulted cycle publishes on the first try");
+        assert_eq!(report.drained_sessions, N_WALKS);
+        base_fp = svc
+            .snapshot()
+            .owned_parts()
+            .expect("owned snapshot")
+            .1
+            .fingerprint();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Chaos: identical walks, every phase-boundary failpoint armed (unless
+    // the CI matrix armed its own schedule via DLN_FAILPOINTS).
+    let armed_by_env = [
+        "reopt.log_torn",
+        "reopt.crash_mid_cycle",
+        "reopt.crash_mid_publish",
+        "reopt.search_kill",
+    ]
+    .iter()
+    .any(|s| dln_fault::is_armed(s));
+    let _fp = if armed_by_env {
+        None
+    } else {
+        Some(
+            dln_fault::scoped(
+                "reopt.log_torn:0.6:21,reopt.crash_mid_cycle:0.5:22,\
+                 reopt.crash_mid_publish:0.5:23,reopt.search_kill:0.5:24",
+            )
+            .expect("valid spec"),
+        )
+    };
+
+    let svc = service(&build);
+    drive_walks(&svc, N_WALKS, WALK_DEPTH);
+    // One live mid-walk session rides through every crashed attempt.
+    let live = svc.open_session_keyed(99).expect("open live");
+    let view = svc
+        .step(live, &StepRequest::action(StepAction::Stay))
+        .expect("view");
+    svc.step(
+        live,
+        &StepRequest::action(StepAction::Descend(view.children[0].state)),
+    )
+    .expect("descend");
+
+    let dir = tmp("chaos");
+    let (report, _attempts) = drive_to_publish(&svc, &lake, &build, &dir, 80);
+    drop(_fp);
+
+    let chaos_fp = svc
+        .snapshot()
+        .owned_parts()
+        .expect("owned snapshot")
+        .1
+        .fingerprint();
+    assert_eq!(
+        chaos_fp, base_fp,
+        "kill-and-restart must converge bit-identically to the unfaulted run"
+    );
+
+    // Post-mortem under a clean scope: durable state committed, evidence
+    // conserved exactly, the live session migrates onto the republish.
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let reopt = Reoptimizer::for_build(&lake, &build, reopt_cfg(&dir)).expect("reopen");
+    assert_eq!(reopt.cycle(), 1, "exactly one committed cycle");
+    assert_eq!(reopt.phase(), CyclePhase::Idle);
+    assert_eq!(
+        reopt.evidence().n_sessions() + svc.merged_log().n_sessions(),
+        N_WALKS,
+        "evidence walk counts must match exactly: no loss, no double count"
+    );
+    let resp = svc
+        .step(live, &StepRequest::action(StepAction::Stay))
+        .expect("step after publish");
+    match resp.swap {
+        SwapOutcome::Migrated {
+            to_epoch,
+            lost_depth,
+            ..
+        } => {
+            assert_eq!(Some(to_epoch), report.epoch);
+            assert!(lost_depth <= 1, "at most the unreplayable tip is lost");
+        }
+        other => panic!("live session must observe the publish, got {other:?}"),
+    }
+    assert_eq!(svc.validate_live_paths(), (1, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: the cycle's background sweep finalizes TTL-expired sessions
+/// into the merged log *before* the drain, so feedback from abandoned
+/// sessions still reaches the evidence log and drives the republish.
+#[test]
+fn expired_sessions_finalize_into_the_cycle_drain() {
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let (lake, build) = setup();
+    let clock = Arc::new(ManualClock::new(0));
+    let svc = NavService::with_clock(
+        build.built.ctx.clone(),
+        build.built.organization.clone(),
+        build.built.nav,
+        ServeConfig {
+            session_ttl_ms: 100,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    for i in 0..2u64 {
+        let sid = svc.open_session_keyed(i).expect("open");
+        let view = svc
+            .step(sid, &StepRequest::action(StepAction::Stay))
+            .expect("view");
+        let pick = view.children[(i as usize) % view.children.len()].state;
+        svc.step(sid, &StepRequest::action(StepAction::Descend(pick)))
+            .expect("descend");
+    }
+    clock.advance(10_000);
+
+    let dir = tmp("sweep");
+    let mut reopt = Reoptimizer::for_build(&lake, &build, reopt_cfg(&dir)).expect("reopt");
+    let report = svc.run_reopt_cycle(&mut reopt).expect("cycle");
+    assert_eq!(report.swept, 2, "the cycle sweeps expired sessions first");
+    assert_eq!(
+        report.drained_sessions, 2,
+        "abandoned walks reach the evidence log"
+    );
+    assert!(report.epoch.is_some(), "their feedback drives a republish");
+    assert_eq!(reopt.evidence().n_sessions(), 2);
+    assert_eq!(svc.merged_log().n_sessions(), 0, "drain acked exactly");
+    assert_eq!(svc.live_sessions(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: shard-scoped migration. A session whose path avoids the
+/// republished shard rides the swap in place — identical slots, zero lost
+/// depth, no replay — while a session inside the shard replays onto a
+/// valid path.
+#[test]
+fn untouched_shard_sessions_ride_republish_in_place() {
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let (lake, build) = setup();
+
+    // Rehearsal over a scratch service: the plan is a pure function of
+    // (evidence, organization), so this reveals which shard the real run
+    // will republish.
+    let hit_shard;
+    {
+        let svc = service(&build);
+        drive_walks(&svc, N_WALKS, WALK_DEPTH);
+        let dir = tmp("rehearsal");
+        let (report, _) = drive_to_publish(&svc, &lake, &build, &dir, 4);
+        hit_shard = report.shard.expect("published shard");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let other_shard = (hit_shard + 1) % build.n_shards();
+
+    let svc = service(&build);
+    drive_walks(&svc, N_WALKS, WALK_DEPTH);
+    let org = &build.built.organization;
+    let untouched = open_probe_at(&svc, org, build.shard_roots[other_shard], 100);
+    let affected = open_probe_at(&svc, org, build.shard_roots[hit_shard], 101);
+    let path_before = svc.session_path(untouched).expect("path");
+    assert!(path_before.len() >= 2, "probe is genuinely mid-walk");
+
+    let dir = tmp("probe");
+    let (report, _) = drive_to_publish(&svc, &lake, &build, &dir, 4);
+    assert_eq!(
+        report.shard,
+        Some(hit_shard),
+        "identical feedback replans the identical shard"
+    );
+    let epoch = report.epoch.expect("published epoch");
+
+    // Untouched shard: in-place ride, nothing lost, identical slots.
+    let resp = svc
+        .step(untouched, &StepRequest::action(StepAction::Stay))
+        .expect("step untouched");
+    match resp.swap {
+        SwapOutcome::Migrated {
+            lost_depth,
+            to_epoch,
+            ..
+        } => {
+            assert_eq!(lost_depth, 0, "untouched shard loses nothing");
+            assert_eq!(to_epoch, epoch);
+        }
+        other => panic!("expected migration, got {other:?}"),
+    }
+    assert_eq!(
+        svc.session_path(untouched).expect("path"),
+        path_before,
+        "no replay: the exact same slots stay valid"
+    );
+    assert_eq!(
+        svc.stats().migrated_in_place.load(Ordering::Relaxed),
+        1,
+        "the swap was taken in place"
+    );
+
+    // Affected shard: ordinary replay onto a valid path.
+    let replays_before = svc.stats().migrated.load(Ordering::Relaxed);
+    let resp = svc
+        .step(affected, &StepRequest::action(StepAction::Stay))
+        .expect("step affected");
+    assert!(
+        matches!(resp.swap, SwapOutcome::Migrated { .. }),
+        "affected probe must migrate, got {:?}",
+        resp.swap
+    );
+    assert!(
+        svc.stats().migrated.load(Ordering::Relaxed) > replays_before,
+        "inside the republished shard, migration is a replay"
+    );
+    assert_eq!(svc.validate_live_paths(), (2, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
