@@ -62,7 +62,7 @@ fn main() {
         ..Default::default()
     };
     eprintln!("running 12 simulated participants (latin-square blocks) ...");
-    let report = run_study(&lake2, &lake3, &socrata.model, &study_cfg);
+    let report = run_study(&lake2, &lake3, &socrata.model, &study_cfg).expect("study");
     println!("\n{report}");
 
     let cols: Vec<(&str, &[f64])> = vec![

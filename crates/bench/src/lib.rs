@@ -14,6 +14,7 @@
 //! curves can be plotted.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::Write;
 use std::path::{Path, PathBuf};

@@ -181,11 +181,12 @@ impl Dendrogram {
         let mut n_active = n;
         while n_active > 1 {
             if chain.is_empty() {
-                let start = active.iter().position(|&a| a).expect("active cluster");
+                let Some(start) = active.iter().position(|&a| a) else {
+                    break;
+                };
                 chain.push(start);
             }
-            loop {
-                let x = *chain.last().expect("chain non-empty");
+            while let Some(&x) = chain.last() {
                 // Nearest active neighbour of x; prefer the previous chain
                 // element on ties so reciprocal pairs terminate.
                 let prev = if chain.len() >= 2 {
@@ -263,11 +264,12 @@ impl Dendrogram {
         let mut n_active = n;
         while n_active > 1 {
             if chain.is_empty() {
-                let start = active.iter().position(|&a| a).expect("active cluster");
+                let Some(start) = active.iter().position(|&a| a) else {
+                    break;
+                };
                 chain.push(start);
             }
-            loop {
-                let x = *chain.last().expect("chain non-empty");
+            while let Some(&x) = chain.last() {
                 let prev = if chain.len() >= 2 {
                     Some(chain[chain.len() - 2])
                 } else {

@@ -288,18 +288,20 @@ fn assign<D: PairwiseDistance>(
             .collect()
     };
     let mut cost = 0.0f64;
-    let mut slots = out.iter_mut();
+    let mut slot = 0usize;
     if rayon::current_num_threads() > 1 && n.saturating_mul(k) >= PAR_MIN_DIST_EVALS {
         let results = rayon::par_map(n_strips, |s| strip(s, &mut Vec::new()));
         for (best, best_d) in results.into_iter().flatten() {
-            *slots.next().expect("strip covers each point once") = best;
+            out[slot] = best;
+            slot += 1;
             cost += best_d as f64;
         }
     } else {
         let mut scratch = Vec::new();
         for s in 0..n_strips {
             for (best, best_d) in strip(s, &mut scratch) {
-                *slots.next().expect("strip covers each point once") = best;
+                out[slot] = best;
+                slot += 1;
                 cost += best_d as f64;
             }
         }

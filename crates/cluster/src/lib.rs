@@ -20,6 +20,7 @@
 //! adapts a set of unit-norm topic vectors (distance = 1 − cosine).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod agglomerative;
 pub mod distance;

@@ -44,6 +44,22 @@
 //! |                      | graft complete, before the snapshot is published       |
 //! | `reopt.search_kill`  | the optimizer aborts between deadline-bounded search   |
 //! |                      | slices (the checkpoint on disk is the restart point)   |
+//! | `store.torn`         | an organization-store write is truncated mid-buffer    |
+//! | `store.mmap`         | the store's mmap open fails → heap-buffer fallback     |
+//! | `churn.log_torn`     | a CDC change-log append is truncated mid-frame and     |
+//! |                      | reported as an error (the ingest is not acknowledged)  |
+//! | `churn.crash_mid_plan` | the maintainer aborts right after durably committing |
+//! |                      | a maintenance plan, before any mutation                |
+//! | `churn.crash_mid_apply` | the maintainer aborts after the rebase and donor    |
+//! |                      | sheds, before any shard re-search                      |
+//! | `churn.search_kill`  | the maintainer aborts between per-shard search slices  |
+//! |                      | (the per-shard checkpoint on disk is the restart point)|
+//! | `churn.crash_mid_publish` | the maintainer aborts after validating the next   |
+//! |                      | organization, before staging the shard-scoped publish  |
+//!
+//! The consolidated catalog — every site, the phase it guards, and the
+//! test binary exercising it — lives in the README's fault-tolerance
+//! section.
 //!
 //! The `serve.*` sites use [`should_fail_keyed`]: the fire decision is a
 //! pure function of `(armed seed, caller key)`, independent of the global

@@ -19,12 +19,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod builder;
+pub mod cdc;
 pub mod csv;
 pub mod model;
 pub mod numeric;
 pub mod stats;
 
 pub use builder::LakeBuilder;
+pub use cdc::{replay, AttrChange, ChangeEvent, ChangeLog, ReplayStats};
 pub use csv::{Ingest, IngestReport};
 pub use model::{AttrId, Attribute, DataLake, Table, TableId, Tag, TagId};
 pub use numeric::{NumericCatalog, NumericColumn, NumericProfile};

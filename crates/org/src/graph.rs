@@ -605,6 +605,234 @@ impl Organization {
     }
 }
 
+/// What [`Organization::rebase_universe`] did to the tag-state tier.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RebaseReport {
+    /// Slots of tag states whose tag left the universe (tombstoned).
+    pub removed_tag_slots: Vec<u32>,
+    /// Freshly appended tag-state slots for tags new to the universe.
+    pub added_tag_slots: Vec<u32>,
+}
+
+/// Maintenance surgery (`crate::maintain`). These operations deliberately
+/// leave the organization *inconsistent in stages* — tag sets are rebased
+/// first, shard subtrees are grafted next, the routing tier and the
+/// attribute memberships are recomputed last — so callers must finish the
+/// full sequence and then [`validate`](Organization::validate).
+impl Organization {
+    /// Rebase the organization onto a new tag universe (`ctx` over the
+    /// post-churn lake). `tag_map[old_local]` gives the surviving tag's
+    /// new local id, or `None` when the tag left the lake.
+    ///
+    /// Slot-preserving: every surviving state keeps its slot number (the
+    /// serving layer's session paths stay meaningful), tag bitsets are
+    /// translated to the new capacity/ids, removed tag states are
+    /// tombstoned and unlinked, and fresh tag states are appended for new
+    /// tags — unrouted until a graft links them under a shard. Attribute
+    /// memberships are *not* touched here; run
+    /// [`refresh_memberships`](Self::refresh_memberships) after the
+    /// grafts.
+    pub(crate) fn rebase_universe(
+        &mut self,
+        ctx: &OrgContext,
+        tag_map: &[Option<u32>],
+    ) -> RebaseReport {
+        let n_tags_new = ctx.n_tags();
+        self.invalidate_order_caches();
+        // Translate every slot's tag set to the new numbering. Dead slots
+        // just get empty sets at the new capacity (they are never read,
+        // but mixed capacities would trip bitset assertions later).
+        for s in &mut self.states {
+            if !s.alive {
+                s.tags = BitSet::new(n_tags_new);
+                continue;
+            }
+            let mut translated = BitSet::new(n_tags_new);
+            for t in s.tags.iter() {
+                if let Some(&Some(nt)) = tag_map.get(t as usize) {
+                    translated.insert(nt);
+                }
+            }
+            s.tags = translated;
+        }
+        // Tombstone the tag states of removed tags; renumber the rest.
+        let old_tag_states = std::mem::take(&mut self.tag_states);
+        let mut report = RebaseReport::default();
+        let mut slot_of_new: Vec<Option<StateId>> = vec![None; n_tags_new];
+        for (t_old, &slot) in old_tag_states.iter().enumerate() {
+            match tag_map.get(t_old).copied().flatten() {
+                Some(nt) => {
+                    self.states[slot.index()].tag = Some(nt);
+                    slot_of_new[nt as usize] = Some(slot);
+                }
+                None => {
+                    for p in self.states[slot.index()].parents.clone() {
+                        self.remove_edge(p, slot);
+                    }
+                    // Tag states have no children by invariant.
+                    self.states[slot.index()].tag = None;
+                    self.states[slot.index()].alive = false;
+                    report.removed_tag_slots.push(slot.0);
+                }
+            }
+        }
+        // Fresh tag states for tags new to the universe.
+        let mut tag_states = Vec::with_capacity(n_tags_new);
+        for (nt, existing) in slot_of_new.into_iter().enumerate() {
+            tag_states.push(match existing {
+                Some(slot) => slot,
+                None => {
+                    let bits = BitSet::from_iter_with_capacity(n_tags_new, [nt as u32]);
+                    let slot = self.add_state(ctx, bits, Some(nt as u32));
+                    report.added_tag_slots.push(slot.0);
+                    slot
+                }
+            });
+        }
+        self.tag_states = tag_states;
+        // The root spans the whole new universe.
+        let root = self.root;
+        self.states[root.index()].tags = BitSet::full(n_tags_new);
+        report
+    }
+
+    /// Structurally shed tag `t` (new-universe local id) from the subtree
+    /// under `root` — the cheap-donor half of a cross-shard rebalance: no
+    /// search, just set/edge surgery. Removes `t` from every interior tag
+    /// set in the subtree, unlinks `t`'s tag state from its parents
+    /// inside the subtree, and cascade-tombstones interiors left childless
+    /// or tag-empty. The subtree root itself is never tombstoned (callers
+    /// guarantee the donor retains ≥ 2 tags). Returns the sorted slots
+    /// whose content or edges changed.
+    pub(crate) fn shed_tag_from_subtree(&mut self, root: StateId, t: u32) -> Vec<u32> {
+        let sub = self.descendants_of(&[root]);
+        let mut in_sub = vec![false; self.states.len()];
+        for &s in &sub {
+            in_sub[s.index()] = true;
+        }
+        let mut changed: Vec<u32> = Vec::new();
+        self.invalidate_order_caches();
+        for &s in &sub {
+            let st = &mut self.states[s.index()];
+            if st.tag.is_none() && st.tags.remove(t) {
+                changed.push(s.0);
+            }
+        }
+        let ts = self.tag_states[t as usize];
+        for p in self.states[ts.index()].parents.clone() {
+            if in_sub[p.index()] {
+                self.remove_edge(p, ts);
+                changed.push(p.0);
+            }
+        }
+        // Cascade: an interior whose children (or tags) ran out carries no
+        // navigation value — tombstone it and let its parents re-check.
+        loop {
+            let mut any = false;
+            for &s in &sub {
+                if s == root {
+                    continue;
+                }
+                let st = &self.states[s.index()];
+                if !st.alive || st.tag.is_some() {
+                    continue;
+                }
+                if st.children.is_empty() || st.tags.is_empty() {
+                    for p in self.states[s.index()].parents.clone() {
+                        self.remove_edge(p, s);
+                    }
+                    for c in self.states[s.index()].children.clone() {
+                        self.remove_edge(s, c);
+                    }
+                    self.states[s.index()].alive = false;
+                    changed.push(s.0);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Recompute the routing tier's tag sets: every ancestor of a shard
+    /// root (the junctions and the global root, not the shard roots
+    /// themselves) gets `tags = ⋃ children`, children-before-parents.
+    /// Must run after every graft/shed so the inclusion property holds
+    /// across the router again.
+    pub(crate) fn refresh_routing_tags(&mut self, shard_roots: &[StateId]) {
+        let mut is_junction = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = Vec::new();
+        for &r in shard_roots {
+            for &p in &self.states[r.index()].parents {
+                if !is_junction[p.index()] {
+                    is_junction[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &self.states[s.index()].parents.clone() {
+                if !is_junction[p.index()] {
+                    is_junction[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        let order = self.topo_order().to_vec();
+        let cap = self.tag_states.len();
+        self.invalidate_order_caches();
+        for &s in order.iter().rev() {
+            if !is_junction[s.index()] {
+                continue;
+            }
+            let mut union = BitSet::new(cap);
+            for c in self.states[s.index()].children.clone() {
+                if self.states[c.index()].alive {
+                    union.union_with(&self.states[c.index()].tags);
+                }
+            }
+            self.states[s.index()].tags = union;
+        }
+    }
+
+    /// Recompute every alive slot's attribute membership, topic
+    /// accumulator and unit topic from its tag set against `ctx` — the
+    /// exact derivation of [`add_state`](Self::add_state) (tags ascending,
+    /// per-tag attrs ascending, merge on fresh insert), so two maintained
+    /// organizations with equal tag sets get bit-identical topics. Dead
+    /// slots are zeroed at the new capacities.
+    pub(crate) fn refresh_memberships(&mut self, ctx: &OrgContext) {
+        let n_attrs = ctx.n_attrs();
+        let n_tags = ctx.n_tags();
+        self.invalidate_order_caches();
+        for i in 0..self.states.len() {
+            if !self.states[i].alive {
+                self.states[i].tags = BitSet::new(n_tags);
+                self.states[i].attrs = BitSet::new(n_attrs);
+                self.states[i].topic = TopicAccumulator::new(ctx.dim());
+                self.states[i].unit_topic = self.states[i].topic.unit_mean();
+                continue;
+            }
+            let mut attrs = BitSet::new(n_attrs);
+            let mut topic = TopicAccumulator::new(ctx.dim());
+            for t in self.states[i].tags.iter() {
+                for &a in &ctx.tag(t).attrs {
+                    if attrs.insert(a) {
+                        topic.merge(&ctx.attr(a).topic);
+                    }
+                }
+            }
+            self.states[i].unit_topic = topic.unit_mean();
+            self.states[i].attrs = attrs;
+            self.states[i].topic = topic;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

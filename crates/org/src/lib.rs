@@ -52,6 +52,9 @@
 //! * [`reopt`] — the crash-safe feedback-driven re-optimization loop:
 //!   durable evidence log, epoch-committed cycles, shard-scoped
 //!   checkpointed search, and graft-back shard republish (DESIGN.md §5h).
+//! * [`maintain`] — crash-safe incremental maintenance under ingest
+//!   churn: durable CDC change log → delta apply → localized re-search →
+//!   cross-shard rebalance, published shard-scoped (DESIGN.md §5i).
 //! * [`success`] — the success-probability evaluation measure (§4.2).
 //! * [`navigate`] — interactive navigation over a built organization
 //!   (state labelling and query-conditioned transitions, §4.4 prototype).
@@ -70,6 +73,7 @@ pub mod export;
 pub mod feedback;
 pub mod graph;
 pub mod init;
+pub mod maintain;
 pub mod multidim;
 pub mod navigate;
 pub mod ops;
@@ -91,6 +95,7 @@ pub use export::{load_json, save_json, to_dot};
 pub use feedback::NavigationLog;
 pub use graph::{Organization, StateId};
 pub use init::{bisecting_org, clustering_org, flat_org, random_org};
+pub use maintain::{MaintAdvance, MaintConfig, MaintStage, Maintainer, EMPTY_SHARD};
 pub use multidim::{MultiDimConfig, MultiDimOrganization};
 pub use navigate::{
     transition_probs_from, transition_probs_from_mat, transition_probs_over, Navigator,

@@ -16,6 +16,7 @@
 //! weight).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bm25;
 pub mod expansion;

@@ -34,8 +34,8 @@ use dln_fault::{should_fail_keyed, DlnError, DlnResult};
 use dln_lake::TableId;
 use dln_org::eval::NavConfig;
 use dln_org::{
-    Advance, BuiltOrganization, MappedSnapshot, NavigationLog, OrgContext, Organization,
-    Reoptimizer, StateId,
+    Advance, BuiltOrganization, MaintAdvance, Maintainer, MappedSnapshot, NavigationLog,
+    OrgContext, Organization, Reoptimizer, StateId,
 };
 
 use crate::clock::{Clock, WallClock};
@@ -280,6 +280,23 @@ pub struct CycleReport {
     pub shard: Option<usize>,
 }
 
+/// What one service-driven maintenance cycle did
+/// ([`NavService::run_maintenance_cycle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintReport {
+    /// TTL-expired sessions swept at cycle start.
+    pub swept: usize,
+    /// Epoch of the shard-scoped republish, when one was published.
+    pub epoch: Option<u64>,
+    /// Change events folded into the published organization.
+    pub applied_events: u64,
+    /// Slots in the republish scope (tombstones + appended states).
+    pub n_changed: usize,
+    /// Shards rebuilt by a checkpointed search (rebalance donors handled
+    /// by edge surgery don't count).
+    pub searched_shards: usize,
+}
+
 /// The concurrent navigation service.
 pub struct NavService {
     store: SnapshotStore,
@@ -480,6 +497,55 @@ impl NavService {
                     drained_sessions,
                     epoch: Some(epoch),
                     shard: Some(shard),
+                })
+            }
+        }
+    }
+
+    /// Run one incremental maintenance cycle against this service:
+    ///
+    /// 1. sweep TTL-expired sessions (live sessions keep serving either
+    ///    way — churn maintenance does not consume navigation feedback);
+    /// 2. advance the maintainer's cycle state machine (durable plan →
+    ///    rebase → localized re-search / rebalance surgery → validate);
+    /// 3. publish the staged organization as a shard-scoped republish —
+    ///    the staged snapshot carries its *own* post-churn context, so
+    ///    sessions on untouched shards ride in place across the lake
+    ///    change — and commit the cycle.
+    ///
+    /// Errors are maintainer crashes: the service keeps serving its
+    /// current snapshot, and a fresh [`Maintainer`] over the same
+    /// directory resumes the cycle bit-identically.
+    pub fn run_maintenance_cycle(&self, maint: &mut Maintainer<'_>) -> DlnResult<MaintReport> {
+        let swept = self.sweep_expired();
+        let snap = self.snapshot();
+        let Some((ctx, org)) = snap.owned_parts() else {
+            return Err(DlnError::InvalidConfig(
+                "maintenance requires an owned snapshot; republish the mapped store \
+                 as an in-memory organization first"
+                    .to_string(),
+            ));
+        };
+        match maint.advance(&ctx, &org)? {
+            MaintAdvance::Skipped => Ok(MaintReport {
+                swept,
+                epoch: None,
+                applied_events: 0,
+                n_changed: 0,
+                searched_shards: 0,
+            }),
+            MaintAdvance::Staged(stage) => {
+                let roots = stage.shard_roots.clone();
+                let n_changed = stage.changed.len();
+                let epoch =
+                    self.publish_shard(Arc::new(stage.ctx), stage.org, snap.nav(), stage.changed);
+                maint.mark_published(&roots)?;
+                Ok(MaintReport {
+                    swept,
+                    epoch: Some(epoch),
+                    applied_events: stage.applied_events,
+                    n_changed,
+                    searched_shards: stage.searched_shards,
                 })
             }
         }

@@ -263,7 +263,12 @@ impl NavigationAgent {
             }
             // Temperature-adjusted sample from the Eq 1 distribution.
             let child = sample_child(&probs, cfg.temperature, &mut rng);
-            nav.descend(child).expect("sampled child is a child");
+            if nav.descend(child).is_err() {
+                // The sampled child came from the navigator's own Eq 1
+                // distribution; a refusal means the organization changed
+                // under the session — end it rather than loop forever.
+                break;
+            }
             actions += 1;
         }
         found
@@ -288,7 +293,7 @@ pub(crate) fn sample_child(
         }
         target -= *w;
     }
-    probs.last().expect("non-empty").0
+    probs[probs.len() - 1].0
 }
 
 /// A participant using keyword search.

@@ -20,6 +20,7 @@
 //! with the same tests. See `DESIGN.md` §1 for the substitution argument.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod agents;
 pub mod concurrent;

@@ -4,6 +4,7 @@
 use std::collections::BTreeSet;
 
 use dln_embed::{dot, SyntheticEmbedding};
+use dln_fault::{DlnError, DlnResult};
 use dln_lake::{DataLake, TableId, TagId};
 use dln_org::{MultiDimConfig, MultiDimOrganization, SearchConfig};
 use dln_search::{ExpansionConfig, KeywordSearch};
@@ -167,7 +168,7 @@ pub fn calibrated_scenario(
     label: &str,
     n_tags: usize,
     target_relevant: usize,
-) -> Scenario {
+) -> DlnResult<Scenario> {
     // Candidate seed tags: the most popular ones (a scenario must be about
     // something the lake actually covers). For each, build the scenario at
     // a fixed threshold and keep the one whose ground-truth size is
@@ -183,7 +184,12 @@ pub fn calibrated_scenario(
             best = Some((sc, diff));
         }
     }
-    best.expect("lake has tags").0
+    match best {
+        Some((sc, _)) => Ok(sc),
+        None => Err(DlnError::InvalidConfig(format!(
+            "calibrated_scenario({label}): lake has no tags to anchor a scenario on"
+        ))),
+    }
 }
 
 /// Scenario anchored at an explicit seed tag: the seed plus its `n − 1`
@@ -209,11 +215,17 @@ pub fn scenario_from_seed(
 
 /// Choose a coherent scenario for a lake: the most popular tag plus its
 /// `n − 1` nearest tags by topic cosine.
-pub fn default_scenario(lake: &DataLake, label: &str, n_tags: usize, threshold: f32) -> Scenario {
-    let seed_tag = lake
-        .tag_ids()
-        .max_by_key(|&t| lake.tag(t).attrs.len())
-        .expect("lake has tags");
+pub fn default_scenario(
+    lake: &DataLake,
+    label: &str,
+    n_tags: usize,
+    threshold: f32,
+) -> DlnResult<Scenario> {
+    let Some(seed_tag) = lake.tag_ids().max_by_key(|&t| lake.tag(t).attrs.len()) else {
+        return Err(DlnError::InvalidConfig(format!(
+            "default_scenario({label}): lake has no tags to anchor a scenario on"
+        )));
+    };
     let seed_unit = &lake.tag(seed_tag).unit_topic;
     let mut others: Vec<TagId> = lake.tag_ids().filter(|&t| t != seed_tag).collect();
     others.sort_by(|&a, &b| {
@@ -223,7 +235,7 @@ pub fn default_scenario(lake: &DataLake, label: &str, n_tags: usize, threshold: 
     });
     let mut tags = vec![seed_tag];
     tags.extend(others.into_iter().take(n_tags.saturating_sub(1)));
-    Scenario::from_tags(lake, label, &tags, threshold)
+    Ok(Scenario::from_tags(lake, label, &tags, threshold))
 }
 
 /// Run the full study over two tag-disjoint lakes (the paper's Socrata-2 /
@@ -238,7 +250,7 @@ pub fn run_study(
     lake3: &DataLake,
     model: &SyntheticEmbedding,
     cfg: &StudyConfig,
-) -> StudyReport {
+) -> DlnResult<StudyReport> {
     // Organizations and search engines per lake.
     let md_cfg = MultiDimConfig {
         n_dims: cfg.n_dims,
@@ -255,9 +267,9 @@ pub fn run_study(
     // Difficulty-matched scenarios (the latin-square design assumes the
     // two scenarios are comparable; the paper vetted this with experts).
     let scenario2 =
-        calibrated_scenario(lake2, "scenario-2", cfg.scenario_tags, cfg.target_relevant);
+        calibrated_scenario(lake2, "scenario-2", cfg.scenario_tags, cfg.target_relevant)?;
     let scenario3 =
-        calibrated_scenario(lake3, "scenario-3", cfg.scenario_tags, cfg.target_relevant);
+        calibrated_scenario(lake3, "scenario-3", cfg.scenario_tags, cfg.target_relevant)?;
 
     // Latin-square blocks: (nav lake, search lake) alternating with order;
     // order is immaterial for agents but the lake assignment is balanced.
@@ -365,7 +377,7 @@ pub fn run_study(
         .map(BTreeSet::len)
         .max()
         .unwrap_or(0);
-    StudyReport {
+    Ok(StudyReport {
         nav: ModalityResult {
             n_found: nav_counts,
             disjointness: nav_disj.clone(),
@@ -385,7 +397,7 @@ pub fn run_study(
         cross_modality_overlap,
         max_nav_found,
         max_search_found,
-    }
+    })
 }
 
 fn rate(num: usize, den: usize) -> f64 {
@@ -416,7 +428,7 @@ mod tests {
             },
             ..Default::default()
         };
-        run_study(&l2, &l3, &s.model, &cfg)
+        run_study(&l2, &l3, &s.model, &cfg).expect("study")
     }
 
     #[test]
@@ -455,7 +467,7 @@ mod tests {
     #[test]
     fn default_scenario_is_well_formed() {
         let s = SocrataConfig::small().generate();
-        let sc = default_scenario(&s.lake, "x", 3, 0.6);
+        let sc = default_scenario(&s.lake, "x", 3, 0.6).expect("scenario");
         assert!(!sc.relevant.is_empty());
         assert_eq!(sc.label, "x");
     }
@@ -468,8 +480,8 @@ mod tests {
         let s = SocrataConfig::small().generate();
         let (l2, l3) = s.split_disjoint(7);
         let target = 30;
-        let sc2 = calibrated_scenario(&l2, "a", 3, target);
-        let sc3 = calibrated_scenario(&l3, "b", 3, target);
+        let sc2 = calibrated_scenario(&l2, "a", 3, target).expect("scenario");
+        let sc3 = calibrated_scenario(&l3, "b", 3, target).expect("scenario");
         assert!(!sc2.relevant.is_empty());
         assert!(!sc3.relevant.is_empty());
         let (n2, n3) = (sc2.relevant.len() as f64, sc3.relevant.len() as f64);
@@ -518,8 +530,8 @@ mod tests {
             search_action_cost: cost,
             ..Default::default()
         };
-        let cheap = run_study(&l2, &l3, &s.model, &mk(1.0));
-        let pricey = run_study(&l2, &l3, &s.model, &mk(60.0));
+        let cheap = run_study(&l2, &l3, &s.model, &mk(1.0)).expect("study");
+        let pricey = run_study(&l2, &l3, &s.model, &mk(60.0)).expect("study");
         let total = |r: &StudyReport| r.search.n_found.iter().sum::<f64>();
         assert!(
             total(&cheap) >= total(&pricey),

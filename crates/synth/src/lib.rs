@@ -15,6 +15,7 @@
 //!   in the style of Socrata-2 / Socrata-3 for the user study.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod socrata;
 pub mod tagcloud;

@@ -166,14 +166,18 @@ impl TagCloudConfig {
                 .map(|i| TokenId(i as u32))
                 .collect();
             let centre = vocab.centre(t);
-            let tag = *ids
-                .iter()
-                .max_by(|a, b| {
-                    dot(vocab.vector(**a), centre)
-                        .partial_cmp(&dot(vocab.vector(**b), centre))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("topic has words");
+            // First-element fold replicating `Iterator::max_by` (keep the
+            // later element on ties) without the empty-iterator Option —
+            // `ids` always holds `words_per_topic ≥ 1` entries.
+            let tag = ids[1..].iter().fold(ids[0], |best, &w| {
+                match dot(vocab.vector(best), centre)
+                    .partial_cmp(&dot(vocab.vector(w), centre))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                {
+                    std::cmp::Ordering::Greater => best,
+                    _ => w,
+                }
+            });
             let tv = vocab.vector(tag);
             let mut by_sim = ids.clone();
             by_sim.sort_by(|a, b| {
@@ -232,8 +236,12 @@ impl TagCloudConfig {
         let true_tag: Vec<TagId> = true_tag_word
             .iter()
             .map(|&w| {
-                lake.tag_by_label(vocab.word(w))
-                    .expect("generated tag exists in lake")
+                lake.tag_by_label(vocab.word(w)).unwrap_or_else(|| {
+                    panic!(
+                        "generator invariant: tag '{}' missing from built lake",
+                        vocab.word(w)
+                    )
+                })
             })
             .collect();
         TagCloudBench {
@@ -299,7 +307,11 @@ impl TagCloudBench {
         let new_lake = builder.build();
         let true_tag = true_tag_labels
             .iter()
-            .map(|l| new_lake.tag_by_label(l).expect("tag preserved"))
+            .map(|l| {
+                new_lake.tag_by_label(l).unwrap_or_else(|| {
+                    panic!("generator invariant: tag '{l}' not preserved across rebuild")
+                })
+            })
             .collect();
         TagCloudBench {
             lake: new_lake,

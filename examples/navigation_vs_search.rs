@@ -26,7 +26,7 @@ fn main() {
     println!("{}", lake.stats());
 
     // The shared information need.
-    let scenario = default_scenario(lake, "overview need", 3, 0.6);
+    let scenario = default_scenario(lake, "overview need", 3, 0.6).expect("lake has tags");
     println!(
         "\nscenario: {} relevant tables exist in the lake",
         scenario.relevant.len()

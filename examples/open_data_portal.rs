@@ -47,7 +47,7 @@ fn main() {
     );
 
     // A vague information need: the lake's most popular topic area.
-    let scenario = default_scenario(lake, "overview scenario", 3, 0.6);
+    let scenario = default_scenario(lake, "overview scenario", 3, 0.6).expect("lake has tags");
     println!(
         "\nscenario '{}': {} tables are actually relevant",
         scenario.label,

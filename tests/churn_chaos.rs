@@ -1,0 +1,572 @@
+//! Chaos suite for crash-safe incremental maintenance under ingest churn
+//! (DESIGN.md §5i): a served sharded organization is maintained by a
+//! `Maintainer` while CDC events stream in and every `churn.*` failpoint
+//! kills the maintainer at phase boundaries. The contract:
+//!
+//! * **Bit-identical convergence** — for any failpoint schedule, killing
+//!   the maintainer and restarting it from its durable directory (fresh
+//!   `Maintainer`, same seed lake) converges to exactly the organization
+//!   an uninterrupted run publishes, fingerprint-equal.
+//! * **Exact event accounting** — a torn change-log append acknowledges
+//!   nothing; the re-ingested event gets the *same* sequence number, so
+//!   no event is ever lost or applied twice.
+//! * **ε-convergence** — an incrementally maintained organization's Eq 6
+//!   effectiveness stays within ε of a from-scratch rebuild over the
+//!   post-churn lake.
+//! * **Shard-scoped migration** — sessions pinned to shards the churn
+//!   didn't touch ride the republish in place (`lost_depth == 0`), even
+//!   though the underlying lake changed.
+//!
+//! CI runs this binary with `DLN_FAILPOINTS` arming the `churn.*` sites
+//! at various probabilities (and `--test-threads=1`, since an env-armed
+//! run must not overlap another test's scoped override); the assertions
+//! hold in every cell of that matrix.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datalake_nav::embed::TopicAccumulator;
+use datalake_nav::lake::{AttrChange, ChangeEvent};
+use datalake_nav::org::{
+    build_sharded, Evaluator, MaintConfig, Maintainer, NavConfig, OrgContext, Organization,
+    Representatives, SearchConfig, ShardPolicy, ShardedBuild, StateId,
+};
+use datalake_nav::prelude::*;
+use datalake_nav::serve::{MaintReport, ManualClock, SwapOutcome};
+use datalake_nav::synth::TagCloudConfig;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dln_churn_chaos_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn setup() -> (DataLake, ShardedBuild) {
+    let bench = TagCloudConfig::small().generate();
+    let cfg = SearchConfig {
+        max_iters: 60,
+        plateau_iters: 20,
+        shards: ShardPolicy::Fixed(2),
+        ..SearchConfig::default()
+    };
+    let sharded = build_sharded(&bench.lake, &cfg);
+    assert!(sharded.n_shards() >= 2, "need a router to shard-republish");
+    (bench.lake, sharded)
+}
+
+fn service(build: &ShardedBuild) -> NavService {
+    NavService::with_clock(
+        build.built.ctx.clone(),
+        build.built.organization.clone(),
+        build.built.nav,
+        ServeConfig::default(),
+        Arc::new(ManualClock::new(0)),
+    )
+}
+
+/// Maintenance configuration pinned against environment overrides: a
+/// small sliced deadline (so `churn.search_kill` has slice boundaries to
+/// fire at) and the change log inside the per-test directory.
+fn maint_cfg(dir: &Path) -> MaintConfig {
+    let mut cfg = MaintConfig::new(dir);
+    cfg.search = SearchConfig {
+        max_iters: 60,
+        plateau_iters: 20,
+        seed: 5,
+        ..SearchConfig::default()
+    };
+    cfg.slice = Some(Duration::from_millis(2));
+    cfg.ckpt_every = 2;
+    cfg.rebalance_drift = 0.05;
+    cfg.cdc_path = None;
+    cfg
+}
+
+/// Deterministic splitmix64 — the tests' own randomness, independent of
+/// any library RNG.
+fn mix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A topic accumulator near an existing tag's direction (so admissions
+/// and rebalances have meaningful geometry), with a deterministic nudge.
+fn topic_near(lake: &DataLake, tag_ix: usize, nudge: f32) -> TopicAccumulator {
+    let tags = lake.tags();
+    let unit = &tags[tag_ix % tags.len()].unit_topic;
+    let mut v: Vec<f32> = unit.clone();
+    for (i, x) in v.iter_mut().enumerate() {
+        *x += nudge * ((i % 3) as f32 - 1.0);
+    }
+    let mut acc = TopicAccumulator::new(lake.dim());
+    acc.add(&v);
+    acc
+}
+
+/// The test's own model of churn: table name → sorted labels. Used to
+/// verify the maintained lake against an independent fold of the events.
+type Model = BTreeMap<String, Vec<String>>;
+
+/// Generate `n` deterministic pseudo-random events against `lake`:
+/// adds (sometimes under a brand-new label), removes and retags of
+/// previously added tables. Returns the events plus the expected
+/// post-churn table model (churn tables only).
+fn random_events(lake: &DataLake, n: usize, seed: u64) -> (Vec<ChangeEvent>, Model) {
+    let mut z = seed;
+    let labels: Vec<String> = lake.tags().iter().map(|t| t.label.clone()).collect();
+    let mut model: Model = Model::new();
+    let mut live: Vec<String> = Vec::new();
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let roll = mix(&mut z) % 4;
+        if roll >= 2 || live.is_empty() {
+            // Add a churn table under 1–2 existing labels, sometimes plus
+            // a brand-new one.
+            let name = format!("churn_t{i}");
+            let l0 = labels[(mix(&mut z) as usize) % labels.len()].clone();
+            let mut tags = vec![l0];
+            if mix(&mut z).is_multiple_of(3) {
+                tags.push(format!("churn_tag{}", mix(&mut z) % 3));
+            }
+            let attr_tag_ix = (mix(&mut z) as usize) % labels.len();
+            events.push(ChangeEvent::TableAdded {
+                name: name.clone(),
+                tags: tags.clone(),
+                attrs: vec![AttrChange {
+                    name: "c0".to_string(),
+                    topic: topic_near(lake, attr_tag_ix, 0.01 * (i as f32 + 1.0)),
+                    n_values: 6,
+                    tags: Vec::new(),
+                }],
+            });
+            tags.sort();
+            tags.dedup();
+            model.insert(name.clone(), tags);
+            live.push(name);
+        } else if roll == 0 {
+            let ix = (mix(&mut z) as usize) % live.len();
+            let name = live.swap_remove(ix);
+            events.push(ChangeEvent::TableRemoved { name: name.clone() });
+            model.remove(&name);
+        } else {
+            let ix = (mix(&mut z) as usize) % live.len();
+            let name = live[ix].clone();
+            let mut tags = vec![labels[(mix(&mut z) as usize) % labels.len()].clone()];
+            if mix(&mut z).is_multiple_of(2) {
+                tags.push(labels[(mix(&mut z) as usize) % labels.len()].clone());
+            }
+            events.push(ChangeEvent::TableRetagged {
+                name: name.clone(),
+                tags: tags.clone(),
+            });
+            tags.sort();
+            tags.dedup();
+            model.insert(name, tags);
+        }
+    }
+    (events, model)
+}
+
+/// Ingest every event with kill-and-restart on torn appends: an `Err`
+/// acknowledges nothing, so the event is re-ingested through a *fresh*
+/// maintainer over the same directory — and must receive the sequence
+/// number the torn attempt failed to ack. Returns the last acked seq.
+fn ingest_all(
+    seed_lake: &DataLake,
+    build: &ShardedBuild,
+    dir: &Path,
+    events: &[ChangeEvent],
+) -> u64 {
+    let mut maint = Maintainer::for_build(seed_lake, build, maint_cfg(dir)).expect("open");
+    let mut last = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let want = (i + 1) as u64;
+        let mut tries = 0;
+        loop {
+            match maint.ingest(ev) {
+                Ok(seq) => {
+                    assert_eq!(
+                        seq, want,
+                        "acked sequence numbers are contiguous: nothing lost, nothing doubled"
+                    );
+                    last = seq;
+                    break;
+                }
+                Err(_) => {
+                    // Torn append: crash and restart the maintainer.
+                    tries += 1;
+                    assert!(tries < 200, "torn-log retries diverged");
+                    maint =
+                        Maintainer::for_build(seed_lake, build, maint_cfg(dir)).expect("reopen");
+                }
+            }
+        }
+    }
+    last
+}
+
+/// Run maintenance cycles until one publishes, simulating `kill -9`
+/// recovery: every attempt constructs a fresh `Maintainer` over the same
+/// directory. After every attempt — crashed or not — no live session's
+/// path may be torn.
+fn drive_to_publish(
+    svc: &NavService,
+    seed_lake: &DataLake,
+    build: &ShardedBuild,
+    dir: &Path,
+    max_attempts: usize,
+) -> (MaintReport, usize) {
+    for attempt in 1..=max_attempts {
+        let mut maint = Maintainer::for_build(seed_lake, build, maint_cfg(dir)).expect("restart");
+        let out = svc.run_maintenance_cycle(&mut maint);
+        let (_, invalid) = svc.validate_live_paths();
+        assert_eq!(invalid, 0, "a cycle attempt tore a live session's path");
+        match out {
+            Ok(r) if r.epoch.is_some() => return (r, attempt),
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    panic!("maintainer failed to publish within {max_attempts} restarts");
+}
+
+/// The served organization's fingerprint.
+fn served_fp(svc: &NavService) -> u64 {
+    svc.snapshot()
+        .owned_parts()
+        .expect("owned snapshot")
+        .1
+        .fingerprint()
+}
+
+/// Eq 6 effectiveness of `org` over `ctx` (exact representatives).
+fn effectiveness(ctx: &OrgContext, org: &Organization, nav: NavConfig) -> f64 {
+    let reps = Representatives::exact(ctx);
+    Evaluator::new(ctx, org, nav, &reps).effectiveness()
+}
+
+/// Verify the maintained lake against the test's independent event fold:
+/// every churn table present with exactly its final labels, every removed
+/// one absent.
+fn assert_lake_matches_model(lake: &DataLake, model: &Model, n_churn_tables: usize) {
+    let mut present = 0;
+    for tid in lake.table_ids() {
+        let t = lake.table(tid);
+        if !t.name.starts_with("churn_t") {
+            continue;
+        }
+        present += 1;
+        let want = model
+            .get(&t.name)
+            .unwrap_or_else(|| panic!("table {} should have been removed", t.name));
+        // The table's label set: table-level tags plus attr-level tags.
+        let mut got: Vec<String> = t
+            .tags
+            .iter()
+            .chain(t.attrs.iter().flat_map(|&a| lake.attr_tags(a)))
+            .map(|&tg| lake.tag(tg).label.clone())
+            .collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(
+            &got, want,
+            "labels of {} diverged from the event fold",
+            t.name
+        );
+    }
+    assert_eq!(present, model.len(), "missing churn tables");
+    assert!(n_churn_tables >= model.len());
+}
+
+/// The root-anchored path to `target` (BFS over alive children).
+fn path_to(org: &Organization, target: StateId) -> Vec<StateId> {
+    use std::collections::{HashMap, HashSet, VecDeque};
+    let mut prev: HashMap<u32, StateId> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::from([org.root().0]);
+    let mut q = VecDeque::from([org.root()]);
+    while let Some(s) = q.pop_front() {
+        if s == target {
+            break;
+        }
+        for &c in &org.state(s).children {
+            if seen.insert(c.0) {
+                prev.insert(c.0, s);
+                q.push_back(c);
+            }
+        }
+    }
+    let mut path = vec![target];
+    while *path.last().expect("nonempty") != org.root() {
+        let p = prev[&path.last().expect("nonempty").0];
+        path.push(p);
+    }
+    path.reverse();
+    path
+}
+
+/// Open a session and walk it to `target` via the step API.
+fn open_probe_at(svc: &NavService, org: &Organization, target: StateId, key: u64) -> SessionId {
+    let sid = svc.open_session_keyed(key).expect("open probe");
+    for step in path_to(org, target).into_iter().skip(1) {
+        svc.step(sid, &StepRequest::action(StepAction::Descend(step)))
+            .expect("probe descend");
+    }
+    sid
+}
+
+/// The tentpole property: under every `churn.*` failpoint, kill-and-
+/// restart maintenance converges to the bit-identical organization of an
+/// uninterrupted run, with exact event accounting throughout.
+#[test]
+fn killed_maintainer_converges_bit_identically() {
+    let (lake, build) = setup();
+    let (events, model) = random_events(&lake, 10, 0xC0FFEE);
+
+    // Baseline: same events, one uninterrupted cycle, no failpoints.
+    let base_fp;
+    {
+        let _clean = dln_fault::scoped("").expect("clean scope");
+        let svc = service(&build);
+        let dir = tmp("base");
+        let last = ingest_all(&lake, &build, &dir, &events);
+        assert_eq!(last, events.len() as u64);
+        let (report, attempts) = drive_to_publish(&svc, &lake, &build, &dir, 4);
+        assert_eq!(attempts, 1, "unfaulted cycle publishes on the first try");
+        assert_eq!(report.applied_events, events.len() as u64);
+        base_fp = served_fp(&svc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Chaos: identical events, every phase-boundary failpoint armed
+    // (unless the CI matrix armed its own schedule via DLN_FAILPOINTS).
+    let armed_by_env = [
+        "churn.log_torn",
+        "churn.crash_mid_plan",
+        "churn.crash_mid_apply",
+        "churn.crash_mid_publish",
+        "churn.search_kill",
+    ]
+    .iter()
+    .any(|s| dln_fault::is_armed(s));
+    let _fp = if armed_by_env {
+        None
+    } else {
+        Some(
+            dln_fault::scoped(
+                "churn.log_torn:0.5:31,churn.crash_mid_plan:0.5:32,\
+                 churn.crash_mid_apply:0.5:33,churn.crash_mid_publish:0.5:34,\
+                 churn.search_kill:0.5:35",
+            )
+            .expect("valid spec"),
+        )
+    };
+
+    let svc = service(&build);
+    // One live mid-walk session rides through every crashed attempt.
+    let live = svc.open_session_keyed(99).expect("open live");
+    let view = svc
+        .step(live, &StepRequest::action(StepAction::Stay))
+        .expect("view");
+    svc.step(
+        live,
+        &StepRequest::action(StepAction::Descend(view.children[0].state)),
+    )
+    .expect("descend");
+
+    let dir = tmp("chaos");
+    let last = ingest_all(&lake, &build, &dir, &events);
+    assert_eq!(last, events.len() as u64, "every event acked exactly once");
+    let (report, _attempts) = drive_to_publish(&svc, &lake, &build, &dir, 200);
+    drop(_fp);
+
+    assert_eq!(
+        served_fp(&svc),
+        base_fp,
+        "kill-and-restart must converge bit-identically to the unfaulted run"
+    );
+    assert_eq!(report.applied_events, events.len() as u64);
+
+    // Post-mortem under a clean scope: the cycle committed exactly once,
+    // the change log drained, and the maintained lake matches an
+    // independent fold of the events — no event lost or double-applied.
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let maint = Maintainer::for_build(&lake, &build, maint_cfg(&dir)).expect("reopen");
+    assert_eq!(maint.cycle(), 1, "exactly one committed cycle");
+    assert!(!maint.in_flight());
+    assert_eq!(maint.applied_seq(), events.len() as u64);
+    assert_eq!(maint.pending(), 0);
+    assert_eq!(maint.quarantined(), 0);
+    assert_lake_matches_model(maint.lake(), &model, events.len());
+
+    // The live session migrates onto the republished organization.
+    let resp = svc
+        .step(live, &StepRequest::action(StepAction::Stay))
+        .expect("step after publish");
+    match resp.swap {
+        SwapOutcome::Migrated { to_epoch, .. } => {
+            assert_eq!(Some(to_epoch), report.epoch);
+        }
+        other => panic!("live session must observe the publish, got {other:?}"),
+    }
+    assert_eq!(svc.validate_live_paths(), (1, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ε-convergence: incrementally maintained organizations stay within ε
+/// of a from-scratch rebuild's effectiveness over the post-churn lake —
+/// across several random event batches, each published as its own cycle.
+#[test]
+fn maintained_effectiveness_tracks_fresh_rebuild() {
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let (lake, build) = setup();
+    let svc = service(&build);
+    let dir = tmp("epsilon");
+    let scfg = SearchConfig {
+        max_iters: 60,
+        plateau_iters: 20,
+        shards: ShardPolicy::Fixed(2),
+        ..SearchConfig::default()
+    };
+
+    let mut maint = Maintainer::for_build(&lake, &build, maint_cfg(&dir)).expect("open");
+    let mut cycles = 0;
+    for batch in 0..3u64 {
+        let (events, _) = random_events(maint.lake(), 5, 0xBEEF ^ batch);
+        for ev in &events {
+            maint.ingest(ev).expect("ingest");
+        }
+        let report = svc.run_maintenance_cycle(&mut maint).expect("cycle");
+        assert!(report.epoch.is_some(), "each batch publishes a cycle");
+        cycles += 1;
+    }
+    assert_eq!(maint.cycle(), cycles);
+
+    let (ctx, org) = svc.snapshot().owned_parts().expect("owned snapshot");
+    org.validate(&ctx).expect("maintained org validates");
+    let maintained = effectiveness(&ctx, &org, svc.snapshot().nav());
+
+    // From-scratch rebuild over the identical post-churn lake.
+    let final_lake = maint.lake().clone();
+    let fresh = build_sharded(&final_lake, &scfg);
+    let fresh_eff = effectiveness(&fresh.built.ctx, &fresh.built.organization, fresh.built.nav);
+
+    assert!(
+        maintained >= fresh_eff - 0.15,
+        "maintained effectiveness {maintained:.4} fell more than ε below \
+         the fresh rebuild's {fresh_eff:.4}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Exact accounting under a hostile change log: with `churn.log_torn`
+/// armed at high probability, every event still lands exactly once, in
+/// order, and the final maintained lake matches the independent fold.
+#[test]
+fn torn_change_log_never_loses_or_doubles_events() {
+    let (lake, build) = setup();
+    let (events, model) = random_events(&lake, 8, 0xDEAD);
+    let dir = tmp("torn");
+    {
+        let _fp = dln_fault::scoped("churn.log_torn:0.7:77").expect("valid spec");
+        let last = ingest_all(&lake, &build, &dir, &events);
+        assert_eq!(last, events.len() as u64);
+    }
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let svc = service(&build);
+    let mut maint = Maintainer::for_build(&lake, &build, maint_cfg(&dir)).expect("reopen");
+    assert_eq!(maint.pending(), events.len() as u64);
+    let report = svc.run_maintenance_cycle(&mut maint).expect("cycle");
+    assert_eq!(report.applied_events, events.len() as u64);
+    assert_lake_matches_model(maint.lake(), &model, events.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shard-scoped migration across a *lake change*: an event that only
+/// touches one shard's labels republishes only that shard, and a session
+/// pinned to the other shard rides the swap in place — zero lost depth,
+/// identical slots — even though the organization now serves a different
+/// lake.
+#[test]
+fn untouched_shard_sessions_ride_churn_republish_in_place() {
+    let _clean = dln_fault::scoped("").expect("clean scope");
+    let (lake, build) = setup();
+    let svc = service(&build);
+
+    // An event under a label owned by shard 1 only (pick the shard with
+    // ≥ 2 tags so the republish is a genuine re-search).
+    let hit_shard = (0..build.n_shards())
+        .max_by_key(|&s| build.shard_tags[s].len())
+        .expect("shards");
+    let other_shard = (hit_shard + 1) % build.n_shards();
+    let label = lake.tag(build.shard_tags[hit_shard][0]).label.clone();
+    let ev = ChangeEvent::TableAdded {
+        name: "churn_probe_t".to_string(),
+        tags: vec![label],
+        attrs: vec![AttrChange {
+            name: "c0".to_string(),
+            topic: topic_near(&lake, 0, 0.02),
+            n_values: 6,
+            tags: Vec::new(),
+        }],
+    };
+
+    let org = &build.built.organization;
+    let untouched = open_probe_at(&svc, org, build.shard_roots[other_shard], 100);
+    let affected = open_probe_at(&svc, org, build.shard_roots[hit_shard], 101);
+    let path_before = svc.session_path(untouched).expect("path");
+    assert!(path_before.len() >= 2, "probe is genuinely mid-walk");
+
+    let dir = tmp("ride");
+    let mut maint = Maintainer::for_build(&lake, &build, maint_cfg(&dir)).expect("open");
+    maint.ingest(&ev).expect("ingest");
+    let report = svc.run_maintenance_cycle(&mut maint).expect("cycle");
+    let epoch = report.epoch.expect("published epoch");
+    assert_eq!(
+        report.searched_shards, 1,
+        "churn under one shard's label re-searches only that shard"
+    );
+
+    // Untouched shard: in-place ride, nothing lost, identical slots —
+    // across a lake change.
+    let resp = svc
+        .step(untouched, &StepRequest::action(StepAction::Stay))
+        .expect("step untouched");
+    match resp.swap {
+        SwapOutcome::Migrated {
+            lost_depth,
+            to_epoch,
+            ..
+        } => {
+            assert_eq!(lost_depth, 0, "untouched shard loses nothing");
+            assert_eq!(to_epoch, epoch);
+        }
+        other => panic!("expected migration, got {other:?}"),
+    }
+    assert_eq!(
+        svc.session_path(untouched).expect("path"),
+        path_before,
+        "no replay: the exact same slots stay valid"
+    );
+    assert_eq!(
+        svc.stats().migrated_in_place.load(Ordering::Relaxed),
+        1,
+        "the swap was taken in place"
+    );
+
+    // Affected shard: ordinary replay onto a valid path.
+    let resp = svc
+        .step(affected, &StepRequest::action(StepAction::Stay))
+        .expect("step affected");
+    assert!(
+        matches!(resp.swap, SwapOutcome::Migrated { .. }),
+        "affected probe must migrate, got {:?}",
+        resp.swap
+    );
+    assert_eq!(svc.validate_live_paths(), (2, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}

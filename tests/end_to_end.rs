@@ -113,7 +113,7 @@ fn socrata_split_supports_study_agents() {
     let (l2, l3) = socrata.split_disjoint(3);
     for lake in [&l2, &l3] {
         assert!(lake.n_tables() > 10);
-        let scenario = default_scenario(lake, "s", 2, 0.6);
+        let scenario = default_scenario(lake, "s", 2, 0.6).expect("scenario");
         assert!(!scenario.relevant.is_empty());
         let built = OrganizerBuilder::new(lake).max_iters(60).build_clustering();
         let found = NavigationAgent::run(
@@ -138,7 +138,7 @@ fn socrata_split_supports_study_agents() {
 fn search_engine_and_navigation_find_overlapping_truth() {
     let socrata = SocrataConfig::small().generate();
     let lake = &socrata.lake;
-    let scenario = default_scenario(lake, "s", 3, 0.6);
+    let scenario = default_scenario(lake, "s", 3, 0.6).expect("scenario");
     let engine = KeywordSearch::build_with_expansion(
         lake,
         socrata.model.clone(),
@@ -224,7 +224,8 @@ fn full_study_reproduces_h2_direction() {
             },
             ..Default::default()
         },
-    );
+    )
+    .expect("study");
     // Directional claim with slack: the medians come from an 8-participant
     // simulated study, so the gap moves by ~0.05 with the RNG stream (the
     // in-workspace `rand` draws a different stream than the registry crate
