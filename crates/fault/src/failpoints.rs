@@ -56,15 +56,27 @@
 //! |                      | (the per-shard checkpoint on disk is the restart point)|
 //! | `churn.crash_mid_publish` | the maintainer aborts after validating the next   |
 //! |                      | organization, before staging the shard-scoped publish  |
+//! | `net.accept_fail`    | a freshly accepted connection is dropped before it is  |
+//! |                      | registered (the client reconnects)                     |
+//! | `net.read_torn`      | a readiness worth of input is discarded and the        |
+//! |                      | connection torn down mid-request (client resends)      |
+//! | `net.write_partial`  | responses flush one byte per readiness edge, forcing   |
+//! |                      | the partial-write resumption path                      |
+//! | `net.conn_drop`      | the connection dies after a step is dispatched and     |
+//! |                      | cached but before the response writes (exactly-once    |
+//! |                      | replay on the client's resend)                         |
 //!
 //! The consolidated catalog — every site, the phase it guards, and the
 //! test binary exercising it — lives in the README's fault-tolerance
 //! section.
 //!
-//! The `serve.*` sites use [`should_fail_keyed`]: the fire decision is a
-//! pure function of `(armed seed, caller key)`, independent of the global
-//! hit counter, so concurrent sessions see the same fault schedule no
-//! matter how the scheduler interleaves them.
+//! The `serve.*` sites and `net.conn_drop` use [`should_fail_keyed`]: the
+//! fire decision is a pure function of `(armed seed, caller key)`,
+//! independent of the global hit counter, so concurrent sessions see the
+//! same fault schedule no matter how the scheduler interleaves them
+//! (`net.conn_drop` keys on the request identity `session ⊕ seq`, which
+//! is also what guarantees a client's retried request — a dedup-cache hit
+//! that skips the failpoint — terminates the fault loop).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, Once, OnceLock};

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod api;
 pub mod clock;
 pub mod error;
 pub mod gate;
@@ -35,6 +36,7 @@ pub mod retry;
 pub mod service;
 pub mod snapshot;
 
+pub use api::{ApiRequest, ApiResponse, WireError};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{ServeError, ServeResult};
 pub use gate::{AdmissionGate, Permit};

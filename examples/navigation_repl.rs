@@ -36,6 +36,22 @@
 //!
 //! Reads EOF gracefully, so it can be driven by a pipe:
 //! `printf '1\nt\nr\nq\n' | cargo run --example navigation_repl`
+//!
+//! ## Over the wire
+//!
+//! The same REPL splits into a server and a remote client:
+//! ```sh
+//! cargo run --release --example navigation_repl -- --listen 127.0.0.1:7070
+//! cargo run --release --example navigation_repl -- --connect 127.0.0.1:7070
+//! ```
+//! `--listen` builds the organization and serves it through the
+//! `dln-net` epoll front-end (honoring `DLN_NET_MAX_CONNS`,
+//! `DLN_NET_WORKERS`, `DLN_NET_IDLE_TTL_MS`; reads stdin until EOF/`q`,
+//! then shuts down gracefully, finalizing remote sessions into the
+//! navigation log). `--connect` drives the walk through the blocking
+//! `net::Client` — same commands, same views, every step a wire frame;
+//! the lake is regenerated locally (the generator is deterministic) so
+//! table names and query embeddings resolve client-side.
 
 use std::io::BufRead;
 
@@ -54,7 +70,7 @@ fn step(svc: &NavService, sid: SessionId, req: &StepRequest) -> Result<StepRespo
     )
 }
 
-fn render(view: &StepResponse, lake: &datalake_nav::lake::DataLake, svc: &NavService) {
+fn render_view(view: &StepResponse, lake: &datalake_nav::lake::DataLake) {
     match view.swap {
         SwapOutcome::Migrated {
             from_epoch,
@@ -95,6 +111,10 @@ fn render(view: &StepResponse, lake: &datalake_nav::lake::DataLake, svc: &NavSer
     for (tid, n) in view.tables.iter().take(15) {
         println!("  {} ({n} matching attrs)", lake.table(*tid).name);
     }
+}
+
+fn render(view: &StepResponse, lake: &datalake_nav::lake::DataLake, svc: &NavService) {
+    render_view(view, lake);
     let stats = svc.stats();
     use std::sync::atomic::Ordering::Relaxed;
     let (deg, mig, shed) = (
@@ -107,21 +127,16 @@ fn render(view: &StepResponse, lake: &datalake_nav::lake::DataLake, svc: &NavSer
     }
 }
 
-fn main() {
-    let socrata = SocrataConfig::small().generate();
-    let lake = &socrata.lake;
-    println!("{}\n", lake.stats());
-    let store_env = std::env::var("DLN_STORE_PATH").ok();
-    let persisted = store_env
-        .as_deref()
-        .map(std::path::Path::new)
-        .filter(|p| p.exists());
-    // `ctx`/`nav` feed the `r` (republish) command; when cold-starting from
-    // a store file the service itself never needs them.
-    let (svc, ctx, nav);
+/// Build (or cold-start from `DLN_STORE_PATH`) the service plus the
+/// context/config the `r` (republish) command needs.
+fn build_service(
+    lake: &datalake_nav::lake::DataLake,
+    store_env: Option<&str>,
+) -> (NavService, OrgContext, NavConfig) {
+    let persisted = store_env.map(std::path::Path::new).filter(|p| p.exists());
     if let Some(path) = persisted {
         let t = std::time::Instant::now();
-        svc = NavService::open_path(path, ServeConfig::from_env())
+        let svc = NavService::open_path(path, ServeConfig::from_env())
             .expect("opening the DLN_STORE_PATH store file");
         println!(
             "(cold start: opened {} in {:.2} ms, mmap: {})",
@@ -129,19 +144,165 @@ fn main() {
             t.elapsed().as_secs_f64() * 1e3,
             svc.snapshot().is_mapped()
         );
-        ctx = OrgContext::full(lake);
-        nav = svc.snapshot().nav();
+        let ctx = OrgContext::full(lake);
+        let nav = svc.snapshot().nav();
+        (svc, ctx, nav)
     } else {
         let built = OrganizerBuilder::new(lake).max_iters(300).build_optimized();
-        ctx = built.ctx.clone();
-        nav = built.nav;
-        svc = NavService::new(
+        let ctx = built.ctx.clone();
+        let nav = built.nav;
+        let svc = NavService::new(
             built.ctx,
             built.organization,
             built.nav,
             ServeConfig::from_env(),
         );
+        (svc, ctx, nav)
     }
+}
+
+/// `--listen ADDR`: build the organization once and serve it over the
+/// wire until stdin closes (or a `q` line), then shut down gracefully.
+fn serve_remote(addr: &str) {
+    let socrata = SocrataConfig::small().generate();
+    println!("{}\n", socrata.lake.stats());
+    let store_env = std::env::var("DLN_STORE_PATH").ok();
+    let (svc, _ctx, _nav) = build_service(&socrata.lake, store_env.as_deref());
+    let svc = std::sync::Arc::new(svc);
+    let config = NetConfig {
+        addr: addr.to_string(),
+        ..NetConfig::from_env()
+    };
+    let server = NetServer::start(
+        std::sync::Arc::clone(&svc),
+        config,
+        std::sync::Arc::new(datalake_nav::serve::WallClock::new()),
+    )
+    .expect("binding the listen address");
+    println!("(listening on {}; EOF or `q` stops)", server.local_addr());
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "q" {
+            break;
+        }
+    }
+    server.shutdown();
+    println!(
+        "(server stopped; merged log holds {} finalized walks)",
+        svc.merged_log().n_sessions()
+    );
+}
+
+/// `--connect ADDR`: the same REPL loop, but every step is a wire frame
+/// through the blocking client. The lake is regenerated locally (the
+/// generator is deterministic) for table names and query embeddings.
+fn remote_repl(addr: &str) {
+    let socrata = SocrataConfig::small().generate();
+    let lake = &socrata.lake;
+    let mut client = Client::connect(addr).expect("connecting to the server");
+    let sid = client.open().expect("opening a remote session");
+    println!("(connected to {addr}; session {})", sid.0);
+    let mut topic: Option<Vec<f32>> = None;
+    let mut view = client
+        .step(sid, &StepRequest::action(StepAction::Stay))
+        .expect("first remote view");
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        render_view(&view, lake);
+        print!("> ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else {
+            println!("(eof)");
+            break;
+        };
+        let cmd = line.trim();
+        let action = match cmd {
+            "q" | "quit" | "exit" => break,
+            "b" | "back" => Some(StepAction::Backtrack),
+            "t" | "tables" => None,
+            "r" | "republish" | "w" | "o" => {
+                println!("(store and republish commands live on the server side)");
+                Some(StepAction::Stay)
+            }
+            "" => Some(StepAction::Stay),
+            n if n.parse::<usize>().is_ok() => {
+                let idx = n.parse::<usize>().expect("checked") - 1;
+                match view.children.get(idx) {
+                    Some(c) => Some(StepAction::Descend(c.state)),
+                    None => {
+                        println!("(no child #{})", idx + 1);
+                        Some(StepAction::Stay)
+                    }
+                }
+            }
+            query => {
+                let mut acc = TopicAccumulator::new(socrata.model.dim());
+                for tok in tokenize(query) {
+                    if let Some(v) = socrata.model.embed(&tok) {
+                        acc.add(v);
+                    }
+                }
+                if acc.is_empty() {
+                    println!("(no embeddable words in {query:?}; try table values)");
+                } else {
+                    println!("(re-ranking children for topic {query:?})");
+                    topic = Some(acc.unit_mean());
+                }
+                Some(StepAction::Stay)
+            }
+        };
+        let req = StepRequest {
+            action: action.unwrap_or(StepAction::Stay),
+            query: topic.clone(),
+            deadline_ms: None,
+            list_tables: action.is_none(),
+        };
+        // The client already reconnects and resends on transport faults;
+        // RetryPolicy on top handles Overloaded sheds exactly as the
+        // local loop does.
+        let policy = RetryPolicy::default();
+        match policy.run(
+            |ms| std::thread::sleep(std::time::Duration::from_millis(ms)),
+            || client.step(sid, &req),
+        ) {
+            Ok(v) => view = v,
+            Err(ServeError::Overloaded { retry_after_ms }) => {
+                println!("(service overloaded even after retries; retry in {retry_after_ms} ms)");
+            }
+            Err(e) => println!("(request failed: {e})"),
+        }
+    }
+    client.close(sid).ok();
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--listen" => listen = argv.next(),
+            "--connect" => connect = argv.next(),
+            other => {
+                eprintln!("(ignoring unknown argument {other:?})");
+            }
+        }
+    }
+    if let Some(addr) = listen {
+        return serve_remote(&addr);
+    }
+    if let Some(addr) = connect {
+        return remote_repl(&addr);
+    }
+
+    let socrata = SocrataConfig::small().generate();
+    let lake = &socrata.lake;
+    println!("{}\n", lake.stats());
+    let store_env = std::env::var("DLN_STORE_PATH").ok();
+    let (svc, ctx, nav) = build_service(lake, store_env.as_deref());
     let sid = svc.open_session().expect("fresh service has capacity");
     // Current topic bias (unit vector), if the user typed a query.
     let mut topic: Option<Vec<f32>> = None;

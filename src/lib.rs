@@ -25,6 +25,10 @@
 //! * [`serve`] — concurrent, fault-tolerant navigation serving: immutable
 //!   snapshot hot-swap, bounded sessions, deadlines with graceful
 //!   degradation, admission control and load shedding.
+//! * [`net`] — the network front-end: a std-only epoll/kqueue reactor,
+//!   length-prefixed binary wire protocol with FNV-1a frame checksums,
+//!   and a blocking client, so thousands of mostly-idle remote sessions
+//!   share a handful of threads.
 //! * [`study`] — the simulated user study and its statistics.
 //!
 //! ## Quickstart
@@ -52,6 +56,7 @@
 pub use dln_cluster as cluster;
 pub use dln_embed as embed;
 pub use dln_lake as lake;
+pub use dln_net as net;
 pub use dln_org as org;
 pub use dln_search as search;
 pub use dln_serve as serve;
@@ -66,6 +71,7 @@ pub mod prelude {
         Vocabulary, VocabularyConfig,
     };
     pub use crate::lake::{AttrId, Attribute, DataLake, LakeBuilder, Table, TableId, Tag, TagId};
+    pub use crate::net::{Client, NetConfig, NetServer};
     pub use crate::org::{
         clustering_org, flat_org, BuiltOrganization, MultiDimConfig, MultiDimOrganization,
         NavConfig, Navigator, Organization, OrganizerBuilder, SearchConfig, ShardPolicy,
